@@ -1,0 +1,247 @@
+// Benchmarks regenerating every table and figure in the paper's
+// evaluation, plus the in-text analyses and the numerics kernels they
+// rest on. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the same runner the tests and cmd/dsv3bench
+// use; the reported wall time is the cost of regenerating that artifact.
+package dsv3
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsv3/internal/units"
+)
+
+// --- Tables ---
+
+func BenchmarkTable1KVCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := Table1(); len(rows) != 3 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+func BenchmarkTable2TrainingCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := Table2(); len(rows) != 4 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+func BenchmarkTable3TopologyCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Table3()
+		if err != nil || len(rows) != 5 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4TrainingMetrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5Latency(b *testing.B) {
+	p := DefaultLatencyParams()
+	for i := 0; i < b.N; i++ {
+		_ = RenderTable5()
+		_ = p
+	}
+}
+
+// --- Figures ---
+
+func BenchmarkFigure5AllToAll(b *testing.B) {
+	sizes := []units.Bytes{512 * units.MiB, 8 * units.GiB}
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure5([]int{32, 64}, sizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6Latency(b *testing.B) {
+	sizes := DefaultFigure6Sizes()
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure6(sizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7DeepEP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := Figure7()
+		if err != nil || len(pts) != 4 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8Routing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- In-text analyses ---
+
+func BenchmarkInferenceLimits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := InferenceLimits(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMTPSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := MTPSpeedup(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalDeployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := LocalDeployment(); len(rows) != 3 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkFP8Accuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := FP8Accuracy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAccumulationAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := AccumulationAblation(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLogFMTCodec(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tile := make([]float64, 128)
+	for i := range tile {
+		tile[i] = rng.NormFloat64()
+	}
+	codec := NewLogFMT(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := codec.Encode(tile)
+		if out := enc.Decode(); len(out) != 128 {
+			b.Fatal("bad decode")
+		}
+	}
+	b.SetBytes(128)
+}
+
+func BenchmarkLogFMTAccuracySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := LogFMTAccuracy(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNodeLimitedRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NodeLimitedRouting(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlaneFailure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := PlaneFailure([]int{0, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Kernel-level numerics benches ---
+
+func BenchmarkFP8GEMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewMatrix(16, 512)
+	bb := NewMatrix(512, 16)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range bb.Data {
+		bb.Data[i] = rng.NormFloat64()
+	}
+	cfg := DeepSeekV3Recipe()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FP8GEMM(a, bb, cfg)
+	}
+}
+
+func BenchmarkE4M3Quantize(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, len(xs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		E4M3.QuantizeSlice(dst, xs)
+	}
+	b.SetBytes(int64(len(xs) * 8))
+}
+
+func BenchmarkFlowSimAllToAll32(b *testing.B) {
+	c, err := BuildCluster(H800Config(4, MPFT))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultCollectiveOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AllToAll(c, 32, 1*units.GiB, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGateRoute(b *testing.B) {
+	g := V3Gate()
+	rng := rand.New(rand.NewSource(4))
+	scores := g.RandomScores(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experts := g.Route(scores, nil); len(experts) != 8 {
+			b.Fatal("bad route")
+		}
+	}
+}
+
+func BenchmarkPipelineSimulate(b *testing.B) {
+	costs := PipelineCosts{F: 0.08, B: 0.14, W: 0.034}
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulatePipeline(0, 16, 60, costs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command dsv3bench regenerates every table and figure of the paper's
+// evaluation and prints them with the paper's reference values.
+//
+// Usage:
+//
+//	dsv3bench                 # run everything
+//	dsv3bench -run table3     # run one experiment
+//	dsv3bench -list           # list experiment names
+//	dsv3bench -quick          # smaller sweeps for a fast pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dsv3"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(quick bool) (string, error)
+}
+
+func catalogue() []experiment {
+	return []experiment{
+		{"table1", "KV cache per token (MLA vs GQA)", func(bool) (string, error) { return dsv3.RenderTable1(), nil }},
+		{"table2", "training GFLOPs per token (MoE vs dense)", func(bool) (string, error) { return dsv3.RenderTable2(), nil }},
+		{"table3", "network topology cost comparison", func(bool) (string, error) { return dsv3.RenderTable3() }},
+		{"table4", "training metrics MPFT vs MRFT", func(bool) (string, error) { return dsv3.RenderTable4() }},
+		{"table5", "link-layer 64B latency", func(bool) (string, error) { return dsv3.RenderTable5(), nil }},
+		{"figure5", "NCCL all-to-all bandwidth MPFT vs MRFT", func(quick bool) (string, error) {
+			gpus := []int{32, 64, 128}
+			sizes := dsv3.DefaultFigure5Sizes()
+			if quick {
+				gpus = []int{32}
+				sizes = sizes[:2]
+			}
+			pts, err := dsv3.Figure5(gpus, sizes)
+			if err != nil {
+				return "", err
+			}
+			return dsv3.RenderFigure5(pts), nil
+		}},
+		{"figure6", "all-to-all latency parity on 16 GPUs", func(bool) (string, error) {
+			pts, err := dsv3.Figure6(dsv3.DefaultFigure6Sizes())
+			if err != nil {
+				return "", err
+			}
+			return dsv3.RenderFigure6(pts), nil
+		}},
+		{"figure7", "DeepEP dispatch/combine bandwidth", func(bool) (string, error) {
+			pts, err := dsv3.Figure7()
+			if err != nil {
+				return "", err
+			}
+			return dsv3.RenderFigure7(pts), nil
+		}},
+		{"figure8", "RoCE routing policies (ECMP/AR/static)", func(bool) (string, error) {
+			pts, err := dsv3.Figure8()
+			if err != nil {
+				return "", err
+			}
+			return dsv3.RenderFigure8(pts), nil
+		}},
+		{"inference", "§2.3.2 EP inference speed limits", func(bool) (string, error) { return dsv3.RenderInferenceLimits() }},
+		{"mtp", "§2.3.3 MTP speculative decoding speedup", func(bool) (string, error) { return dsv3.RenderMTP(7) }},
+		{"local", "§2.2.2 local deployment rooflines", func(bool) (string, error) { return dsv3.RenderLocalDeploy(), nil }},
+		{"fp8", "§2.4 FP8 vs BF16 toy-training accuracy", func(bool) (string, error) { return dsv3.RenderFP8Accuracy() }},
+		{"accum", "§3.1.1 accumulation precision ablation", func(bool) (string, error) { return dsv3.RenderAccumulation(13) }},
+		{"logfmt", "§3.2 LogFMT vs FP8/BF16 accuracy", func(bool) (string, error) { return dsv3.RenderLogFMT(17) }},
+		{"nodelimit", "§4.3 node-limited routing dedup", func(bool) (string, error) { return dsv3.RenderNodeLimited(19) }},
+		{"planefail", "§5.1.1 multi-plane failure robustness", func(bool) (string, error) {
+			rows, err := dsv3.PlaneFailure([]int{0, 1, 2, 4})
+			if err != nil {
+				return "", err
+			}
+			return dsv3.RenderPlaneFailure(rows), nil
+		}},
+		{"overlap", "§2.3.1 dual micro-batch overlap ablation", func(bool) (string, error) { return dsv3.RenderOverlap() }},
+		{"contention", "§4.5 PCIe bandwidth contention", func(bool) (string, error) { return dsv3.RenderContention() }},
+		{"sdc", "§6.1.2 checksum-based SDC detection", func(bool) (string, error) { return dsv3.RenderSDC(29) }},
+	}
+}
+
+func main() {
+	runName := flag.String("run", "", "run a single experiment by name")
+	list := flag.Bool("list", false, "list experiments")
+	quick := flag.Bool("quick", false, "smaller sweeps")
+	flag.Parse()
+
+	exps := catalogue()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	ran := 0
+	for _, e := range exps {
+		if *runName != "" && !strings.EqualFold(e.name, *runName) {
+			continue
+		}
+		out, err := e.run(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s — %s ===\n%s\n", e.name, e.desc, out)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *runName)
+		os.Exit(1)
+	}
+}

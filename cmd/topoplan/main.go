@@ -1,0 +1,52 @@
+// Command topoplan explores fabric cost/scale trade-offs with the
+// Table 3 cost model: given a switch radix and plane count it prints
+// endpoint capacity, switch/link counts and dollar cost for two- and
+// three-layer fat-trees, the multi-plane variant, Slim Fly and a
+// canonical dragonfly.
+//
+// Usage:
+//
+//	topoplan -radix 64 -planes 8
+//	topoplan -radix 128 -planes 4 -switch-cost 80000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsv3/internal/tablefmt"
+	"dsv3/internal/topology"
+)
+
+func main() {
+	radix := flag.Int("radix", 64, "switch port count")
+	planes := flag.Int("planes", 8, "multi-plane plane count")
+	sfq := flag.Int("sf-q", 28, "Slim Fly MMS parameter q")
+	epCost := flag.Float64("endpoint-cost", 514, "$ per endpoint (NIC + cable share)")
+	swCost := flag.Float64("switch-cost", 50000, "$ per switch")
+	linkCost := flag.Float64("link-cost", 1536, "$ per inter-switch optical link")
+	flag.Parse()
+
+	model := topology.CostModel{EndpointCost: *epCost, SwitchCost: *swCost, LinkCost: *linkCost}
+	sf, err := topology.SlimFlyCounts(*sfq)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rows := []topology.Counts{
+		topology.FT2Counts(*radix),
+		topology.MPFTCounts(*radix, *planes),
+		topology.FT3Counts(*radix),
+		sf,
+		topology.DragonflyCounts(*radix/4, *radix/2, *radix/4, *radix/2**radix/4+1),
+	}
+	t := tablefmt.New(fmt.Sprintf("Topology plan (radix %d, %d planes)", *radix, *planes),
+		"Topology", "Endpoints", "Switches", "Links", "Cost [M$]", "Cost/EP [k$]")
+	for _, c := range rows {
+		t.AddRow(c.Name, c.Endpoints, c.Switches, c.InterSwitchLinks,
+			fmt.Sprintf("%.1f", model.Cost(c)/1e6),
+			fmt.Sprintf("%.2f", model.CostPerEndpoint(c)/1e3))
+	}
+	fmt.Print(t.String())
+}

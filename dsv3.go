@@ -1,0 +1,248 @@
+// Package dsv3 is the public facade of the DeepSeek-V3 ISCA'25 paper
+// reproduction: a pure-Go modelling and simulation library for the
+// hardware/model co-design analyses in "Insights into DeepSeek-V3:
+// Scaling Challenges and Reflections on Hardware for AI Architectures".
+//
+// The library is organized as a set of substrates (bit-exact FP8/LogFMT
+// numerics, a flow-level network simulator, fabric topologies, an H800
+// cluster model) with the paper's systems built on top (DeepSeekMoE
+// node-limited routing, DeepEP dispatch/combine, MLA decode analysis,
+// MTP speculative decoding, the DualPipe training-step model). Every
+// table and figure of the paper's evaluation can be regenerated through
+// the runners in this facade; see DESIGN.md for the experiment index
+// and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Quick start:
+//
+//	fmt.Println(dsv3.RenderTable1())            // KV cache comparison
+//	rows, _ := dsv3.Figure7()                   // DeepEP bandwidth sweep
+//	m, _ := dsv3.TrainingConfig().Run()         // Table 4 metrics
+//
+// The cmd/dsv3bench binary prints every experiment; the examples/
+// directory walks through the main APIs.
+package dsv3
+
+import (
+	"dsv3/internal/cluster"
+	"dsv3/internal/collective"
+	"dsv3/internal/deepep"
+	"dsv3/internal/experiments"
+	"dsv3/internal/fp8train"
+	"dsv3/internal/gemm"
+	"dsv3/internal/inference"
+	"dsv3/internal/logfmt"
+	"dsv3/internal/mla"
+	"dsv3/internal/model"
+	"dsv3/internal/moe"
+	"dsv3/internal/mtp"
+	"dsv3/internal/netsim"
+	"dsv3/internal/pipeline"
+	"dsv3/internal/quant"
+	"dsv3/internal/topology"
+	"dsv3/internal/trainsim"
+)
+
+// Model configurations (Table 1 / Table 2 subjects).
+type ModelConfig = model.Config
+
+// Published model configurations.
+var (
+	DeepSeekV3 = model.DeepSeekV3
+	DeepSeekV2 = model.DeepSeekV2
+	Qwen72B    = model.Qwen72B
+	LLaMA405B  = model.LLaMA405B
+)
+
+// Deployment rooflines (§2.2.2).
+type Deployment = model.Deployment
+
+var (
+	AISoC             = model.AISoC
+	ConsumerGPUServer = model.ConsumerGPUServer
+)
+
+// Numerics (§3).
+type (
+	// Format is a bit-exact minifloat format (E4M3, E5M2, BF16, ...).
+	Format = quant.Format
+	// Accumulator simulates the tensor-core accumulation data path.
+	Accumulator = quant.Accumulator
+	// Matrix is the dense matrix carrier used by the GEMM paths.
+	Matrix = quant.Matrix
+	// LogFMTCodec is the §3.2 logarithmic communication format.
+	LogFMTCodec = logfmt.Codec
+	// FP8GEMMConfig selects quantization granularity and accumulation.
+	FP8GEMMConfig = gemm.FP8Config
+)
+
+// Format instances and numerics constructors.
+var (
+	E4M3             = quant.E4M3
+	E5M2             = quant.E5M2
+	BF16             = quant.BF16
+	HopperFP8        = quant.HopperFP8
+	NewLogFMT        = logfmt.New
+	DeepSeekV3Recipe = gemm.DeepSeekV3Recipe
+	FP8GEMM          = gemm.FP8
+	BF16GEMM         = gemm.BF16
+	RefGEMM          = gemm.Ref
+	NewMatrix        = quant.NewMatrix
+)
+
+// Topologies and cost model (Table 3, §5.1).
+type (
+	TopologyCounts = topology.Counts
+	CostModel      = topology.CostModel
+	FatTree2       = topology.FatTree2
+	SlimFly        = topology.SlimFly
+	Dragonfly      = topology.Dragonfly
+	Graph          = topology.Graph
+)
+
+var (
+	FT2Counts        = topology.FT2Counts
+	FT3Counts        = topology.FT3Counts
+	MPFTCounts       = topology.MPFTCounts
+	SlimFlyCounts    = topology.SlimFlyCounts
+	DragonflyCounts  = topology.DragonflyCounts
+	DefaultCostModel = topology.DefaultCostModel
+)
+
+// Network simulation (§5).
+type (
+	Flow          = netsim.Flow
+	SimResult     = netsim.Result
+	Router        = netsim.Router
+	RoutingPolicy = netsim.Policy
+)
+
+const (
+	PolicyECMP     = netsim.PolicyECMP
+	PolicyAdaptive = netsim.PolicyAdaptive
+	PolicyStatic   = netsim.PolicyStatic
+)
+
+var (
+	SimulateFlows = netsim.Simulate
+	NewRouter     = netsim.NewRouter
+)
+
+// Cluster model (§4.1) and collectives (Figures 5, 6, 8).
+type (
+	Cluster        = cluster.Cluster
+	ClusterConfig  = cluster.Config
+	FabricKind     = cluster.FabricKind
+	CollectiveOpts = collective.Options
+	LatencyParams  = cluster.LatencyParams
+)
+
+const (
+	MPFT = cluster.MPFT
+	MRFT = cluster.MRFT
+)
+
+var (
+	H800Config            = cluster.H800Config
+	BuildCluster          = cluster.Build
+	AllToAll              = collective.AllToAll
+	RingCollective        = collective.RingCollective
+	DefaultCollectiveOpts = collective.DefaultOptions
+	DefaultLatencyParams  = cluster.DefaultLatencyParams
+)
+
+// MoE routing (§4.3) and DeepEP (Figure 7).
+type (
+	Gate            = moe.Gate
+	ExpertPlacement = moe.Placement
+	DeepEPConfig    = deepep.Config
+	DeepEPResult    = deepep.Result
+)
+
+var (
+	V3Gate         = moe.V3Gate
+	DeepEPV3Config = deepep.V3Config
+	DeepEPDispatch = deepep.Dispatch
+	DeepEPCombine  = deepep.Combine
+	DeepEPSweep    = deepep.Sweep
+)
+
+// Inference analyses (§2.1.2, §2.3.2, §2.3.3).
+type (
+	EPInferenceConfig = inference.EPConfig
+	MTPConfig         = mtp.Config
+	DecodeAccelerator = mla.Accelerator
+)
+
+var (
+	V3EPInference       = inference.V3EPConfig
+	MTPV3               = mtp.V3Config
+	SimulateMTP         = mtp.Simulate
+	H800Accelerator     = mla.H800
+	AttentionDecodeCost = mla.AttentionDecodeCost
+)
+
+// Training (Table 4).
+type (
+	TrainingMetrics = trainsim.Metrics
+	PipelineCosts   = pipeline.Costs
+	PipelineResult  = pipeline.Result
+)
+
+var (
+	TrainingConfig   = trainsim.V3Config
+	SimulatePipeline = pipeline.Simulate
+	AnalyticDualPipe = pipeline.AnalyticDualPipe
+)
+
+// FP8 training validation (§2.4).
+type FP8TrainConfig = fp8train.Config
+
+var (
+	FP8TrainDefault = fp8train.DefaultConfig
+	FP8Train        = fp8train.Train
+)
+
+// Experiment runners: regenerate every table and figure.
+var (
+	Table1                = experiments.Table1
+	Table2                = experiments.Table2
+	Table3                = experiments.Table3
+	Table4                = experiments.Table4
+	Figure5               = experiments.Figure5
+	Figure6               = experiments.Figure6
+	Figure7               = experiments.Figure7
+	Figure8               = experiments.Figure8
+	InferenceLimits       = experiments.InferenceLimits
+	MTPSpeedup            = experiments.MTPSpeedup
+	LocalDeployment       = experiments.LocalDeployment
+	FP8Accuracy           = experiments.FP8Accuracy
+	AccumulationAblation  = experiments.AccumulationAblation
+	LogFMTAccuracy        = experiments.LogFMTAccuracy
+	NodeLimitedRouting    = experiments.NodeLimitedRouting
+	PlaneFailure          = experiments.PlaneFailure
+	RenderTable1          = experiments.RenderTable1
+	RenderTable2          = experiments.RenderTable2
+	RenderTable3          = experiments.RenderTable3
+	RenderTable4          = experiments.RenderTable4
+	RenderTable5          = experiments.RenderTable5
+	RenderFigure5         = experiments.RenderFigure5
+	RenderFigure6         = experiments.RenderFigure6
+	RenderFigure7         = experiments.RenderFigure7
+	RenderFigure8         = experiments.RenderFigure8
+	RenderInferenceLimits = experiments.RenderInferenceLimits
+	RenderMTP             = experiments.RenderMTP
+	RenderLocalDeploy     = experiments.RenderLocalDeployment
+	RenderFP8Accuracy     = experiments.RenderFP8Accuracy
+	RenderAccumulation    = experiments.RenderAccumulationAblation
+	RenderLogFMT          = experiments.RenderLogFMT
+	RenderNodeLimited     = experiments.RenderNodeLimited
+	RenderPlaneFailure    = experiments.RenderPlaneFailure
+	DefaultFigure5Sizes   = experiments.DefaultFigure5Sizes
+	DefaultFigure6Sizes   = experiments.DefaultFigure6Sizes
+	BandwidthContention   = experiments.BandwidthContention
+	OverlapStudy          = experiments.OverlapAblation
+	SDCDetection          = experiments.SDCDetection
+	RenderContention      = experiments.RenderContention
+	RenderOverlap         = experiments.RenderOverlap
+	RenderSDC             = experiments.RenderSDC
+)

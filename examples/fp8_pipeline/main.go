@@ -1,0 +1,41 @@
+// fp8_pipeline: the low-precision story of §3 — quantized GEMM error
+// under the DeepSeek-V3 recipe, the accumulation ablation, LogFMT
+// compression accuracy, and the toy training-run validation.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dsv3"
+	"dsv3/internal/stats"
+)
+
+func main() {
+	// GEMM error of the production recipe vs a float64 reference.
+	rng := rand.New(rand.NewSource(5))
+	a := dsv3.NewMatrix(16, 1024)
+	b := dsv3.NewMatrix(1024, 16)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	ref := dsv3.RefGEMM(a, b)
+	fp8 := dsv3.FP8GEMM(a, b, dsv3.DeepSeekV3Recipe())
+	bf16 := dsv3.BF16GEMM(a, b)
+	relFP8, _ := stats.RMSRelativeError(fp8.Data, ref.Data)
+	relBF16, _ := stats.RMSRelativeError(bf16.Data, ref.Data)
+	fmt.Printf("GEMM (16x1024x16) RMS relative error: FP8 recipe %.2e, BF16 %.2e\n\n", relFP8, relBF16)
+
+	if out, err := dsv3.RenderAccumulation(13); err == nil {
+		fmt.Println(out)
+	}
+	if out, err := dsv3.RenderLogFMT(17); err == nil {
+		fmt.Println(out)
+	}
+	if out, err := dsv3.RenderFP8Accuracy(); err == nil {
+		fmt.Println(out)
+	}
+}

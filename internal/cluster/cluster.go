@@ -1,0 +1,335 @@
+// Package cluster models the hardware platform of the paper: H800 nodes
+// (8 GPUs behind an NVSwitch, 8×400G IB NICs, one NIC per GPU) attached
+// to either the deployed Multi-Plane Fat-Tree (MPFT) or the single-plane
+// Multi-Rail Fat-Tree (MRFT) it was evaluated against, plus the GB200
+// NVL72 reference point used by the §2.3.2 analysis and the link-layer
+// latency model behind Table 5.
+package cluster
+
+import (
+	"fmt"
+
+	"dsv3/internal/topology"
+	"dsv3/internal/units"
+)
+
+// H800 platform constants (§4.1, §4.3).
+const (
+	// GPUsPerNode is fixed by the H800 SXM platform.
+	GPUsPerNode = 8
+	// NVLinkLine is the H800's regulatory-capped NVLink bandwidth
+	// (down from 900 GB/s on GB200-class parts): 400 GB/s bidirectional
+	// = 200 GB/s per direction.
+	NVLinkLine = 200 * units.GB
+	// NVLinkEffective is the achieved NVLink bandwidth the paper quotes
+	// ("about 160 GB/s can actually be achieved").
+	NVLinkEffective = 160 * units.GB
+	// NICLine is the 400 Gbps CX7 line rate.
+	NICLine = 50 * units.GB
+	// NICEffective is the achieved large-message rate; the paper uses
+	// 40 GB/s as a conservative effective figure and DeepEP sustains
+	// >40; 47 GB/s matches NCCL's large-message efficiency.
+	NICEffective = 47 * units.GB
+	// GB200NVL72Bandwidth is the scale-up bandwidth of the GB200 NVL72
+	// comparison system (900 GB/s unidirectional across 72 GPUs).
+	GB200NVL72Bandwidth = 900 * units.GB
+)
+
+// FabricKind selects the scale-out fabric layout.
+type FabricKind int
+
+const (
+	// MPFT is the deployed eight-plane two-layer fat-tree (Figure 3).
+	MPFT FabricKind = iota
+	// MRFT is the single-plane multi-rail fat-tree baseline: same leaf
+	// layer, but one shared spine group interconnecting all rails.
+	MRFT
+)
+
+// String implements fmt.Stringer.
+func (k FabricKind) String() string {
+	if k == MPFT {
+		return "MPFT"
+	}
+	return "MRFT"
+}
+
+// Config sizes a cluster build.
+type Config struct {
+	Nodes          int
+	GPUsPerNode    int // = plane count; 8 on H800
+	NICsPerLeaf    int
+	SpinesPerPlane int
+	Fabric         FabricKind
+
+	Net       topology.FabricParams
+	NVLinkCap units.BytesPerSecond
+	NVLinkLat units.Seconds
+}
+
+// H800Config returns the default simulation configuration for n nodes
+// (8n GPUs) on the chosen fabric. Leaf/spine counts are scaled-down but
+// non-blocking, mirroring the real 1:1 two-layer design.
+func H800Config(nodes int, fabric FabricKind) Config {
+	return Config{
+		Nodes:          nodes,
+		GPUsPerNode:    GPUsPerNode,
+		NICsPerLeaf:    4,
+		SpinesPerPlane: 4,
+		Fabric:         fabric,
+		Net: topology.FabricParams{
+			EndpointLinkCap: NICEffective,
+			SwitchLinkCap:   NICEffective,
+			EndpointLinkLat: 0.975 * units.Microsecond, // NIC + cable + half-switch
+			SwitchHopLat:    0.45 * units.Microsecond,  // IB switch hop
+		},
+		NVLinkCap: NVLinkEffective,
+		NVLinkLat: 0.1 * units.Microsecond,
+	}
+}
+
+// Cluster is a built cluster graph with the bookkeeping needed to
+// construct explicit paths (PXN, receiver-side forwarding) without
+// re-deriving the topology.
+type Cluster struct {
+	Cfg Config
+	G   *topology.Graph
+
+	// GPU[n][g] is the graph node ID of GPU g on host n (endpoints).
+	GPU [][]int
+
+	nvsw      []int   // [node]
+	nic       [][]int // [node][plane]
+	leaf      [][]int // [plane][leafIdx]
+	planes    int
+	leafCount int // leaves per plane
+
+	gpuToNVSw [][]int // link IDs [node][gpu]
+	nvswToGPU [][]int
+	gpuToNIC  [][]int // [node][plane]
+	nicToGPU  [][]int
+	nicToLeaf [][]int // [node][plane]
+	leafToNIC [][]int
+	// leafUp[plane][leafIdx] lists uplink link IDs, one per reachable
+	// spine (plane-local spines for MPFT; all shared spines for MRFT).
+	leafUp [][][]int
+	// spineDown[(spineNode,leafNode)] is the matching down link.
+	spineDown map[[2]int]int
+}
+
+// Build constructs the cluster graph.
+func Build(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 || cfg.GPUsPerNode <= 0 || cfg.NICsPerLeaf <= 0 || cfg.SpinesPerPlane <= 0 {
+		return nil, fmt.Errorf("cluster: all counts must be positive: %+v", cfg)
+	}
+	planes := cfg.GPUsPerNode
+	leafCount := (cfg.Nodes + cfg.NICsPerLeaf - 1) / cfg.NICsPerLeaf
+
+	c := &Cluster{
+		Cfg:       cfg,
+		G:         topology.NewGraph(),
+		planes:    planes,
+		leafCount: leafCount,
+		spineDown: make(map[[2]int]int),
+	}
+	g := c.G
+
+	// Spines. MPFT: SpinesPerPlane per plane, isolated. MRFT: one shared
+	// pool of planes*SpinesPerPlane spines; leaf uplink capacity is
+	// divided across them so aggregate uplink bandwidth matches MPFT.
+	var spineIDs [][]int // [plane] -> spine node IDs reachable from that plane's leaves
+	uplinkCap := cfg.Net.SwitchLinkCap
+	switch cfg.Fabric {
+	case MPFT:
+		spineIDs = make([][]int, planes)
+		for p := 0; p < planes; p++ {
+			for s := 0; s < cfg.SpinesPerPlane; s++ {
+				id := g.AddNode(topology.Switch, fmt.Sprintf("spine-p%d-%d", p, s), 2, p)
+				spineIDs[p] = append(spineIDs[p], id)
+			}
+		}
+	case MRFT:
+		shared := make([]int, 0, planes*cfg.SpinesPerPlane)
+		for s := 0; s < planes*cfg.SpinesPerPlane; s++ {
+			shared = append(shared, g.AddNode(topology.Switch, fmt.Sprintf("spine-%d", s), 2, -1))
+		}
+		spineIDs = make([][]int, planes)
+		for p := 0; p < planes; p++ {
+			spineIDs[p] = shared
+		}
+		uplinkCap = cfg.Net.SwitchLinkCap / float64(planes)
+	default:
+		return nil, fmt.Errorf("cluster: unknown fabric kind %d", cfg.Fabric)
+	}
+
+	// Leaves.
+	c.leaf = make([][]int, planes)
+	c.leafUp = make([][][]int, planes)
+	for p := 0; p < planes; p++ {
+		c.leaf[p] = make([]int, leafCount)
+		c.leafUp[p] = make([][]int, leafCount)
+		for l := 0; l < leafCount; l++ {
+			id := g.AddNode(topology.Switch, fmt.Sprintf("leaf-p%d-%d", p, l), 1, p)
+			c.leaf[p][l] = id
+			for _, sp := range spineIDs[p] {
+				up, down := g.AddDuplex(id, sp, uplinkCap, cfg.Net.SwitchHopLat)
+				c.leafUp[p][l] = append(c.leafUp[p][l], up)
+				c.spineDown[[2]int{sp, id}] = down
+			}
+		}
+	}
+
+	// Hosts: GPUs, NVSwitch, NICs.
+	for n := 0; n < cfg.Nodes; n++ {
+		nvsw := g.AddNode(topology.Switch, fmt.Sprintf("nvsw-%d", n), 0, -1)
+		c.nvsw = append(c.nvsw, nvsw)
+		gpus := make([]int, cfg.GPUsPerNode)
+		nics := make([]int, planes)
+		g2n, n2g := make([]int, cfg.GPUsPerNode), make([]int, cfg.GPUsPerNode)
+		g2nic, nic2g := make([]int, planes), make([]int, planes)
+		nicUp, nicDn := make([]int, planes), make([]int, planes)
+		for i := 0; i < cfg.GPUsPerNode; i++ {
+			gpu := g.AddNode(topology.Endpoint, fmt.Sprintf("gpu-%d-%d", n, i), 0, i)
+			gpus[i] = gpu
+			g2n[i], n2g[i] = g.AddDuplex(gpu, nvsw, cfg.NVLinkCap, cfg.NVLinkLat)
+
+			nic := g.AddNode(topology.Switch, fmt.Sprintf("nic-%d-%d", n, i), 0, i)
+			nics[i] = nic
+			// GPU->NIC is PCIe/direct; not the bottleneck, so line rate.
+			g2nic[i], nic2g[i] = g.AddDuplex(gpu, nic, cfg.Net.EndpointLinkCap, 0)
+			leafIdx := n / cfg.NICsPerLeaf
+			nicUp[i], nicDn[i] = g.AddDuplex(nic, c.leaf[i][leafIdx], cfg.Net.EndpointLinkCap, cfg.Net.EndpointLinkLat)
+		}
+		c.GPU = append(c.GPU, gpus)
+		c.nic = append(c.nic, nics)
+		c.gpuToNVSw = append(c.gpuToNVSw, g2n)
+		c.nvswToGPU = append(c.nvswToGPU, n2g)
+		c.gpuToNIC = append(c.gpuToNIC, g2nic)
+		c.nicToGPU = append(c.nicToGPU, nic2g)
+		c.nicToLeaf = append(c.nicToLeaf, nicUp)
+		c.leafToNIC = append(c.leafToNIC, nicDn)
+	}
+	return c, nil
+}
+
+// Planes returns the plane count.
+func (c *Cluster) Planes() int { return c.planes }
+
+// LeafOf returns the leaf index of a host.
+func (c *Cluster) LeafOf(node int) int { return node / c.Cfg.NICsPerLeaf }
+
+// SpineSlots returns how many spines a leaf in the given plane can
+// reach (the fan-out available for multipathing).
+func (c *Cluster) SpineSlots(plane int) int { return len(c.leafUp[plane][0]) }
+
+// GPUID returns the graph node ID of (host, gpu).
+func (c *Cluster) GPUID(node, gpu int) int { return c.GPU[node][gpu] }
+
+// RankOf maps a global rank to (host, gpu) in the usual packed order.
+func (c *Cluster) RankOf(rank int) (node, gpu int) {
+	return rank / c.Cfg.GPUsPerNode, rank % c.Cfg.GPUsPerNode
+}
+
+// NumRanks returns the total GPU count.
+func (c *Cluster) NumRanks() int { return c.Cfg.Nodes * c.Cfg.GPUsPerNode }
+
+// NVLinkPath returns the intra-node path GPU i -> GPU j on a host.
+func (c *Cluster) NVLinkPath(node, i, j int) []int {
+	if i == j {
+		return nil
+	}
+	return []int{c.gpuToNVSw[node][i], c.nvswToGPU[node][j]}
+}
+
+// netSegment builds NIC(a,plane) -> fabric -> NIC(b,plane) -> GPU(b,dstGPU),
+// choosing spine slot spine when the hosts sit under different leaves.
+func (c *Cluster) netSegment(a, b, plane, spine int) []int {
+	leafA, leafB := c.LeafOf(a), c.LeafOf(b)
+	path := []int{c.nicToLeaf[a][plane]}
+	if leafA != leafB {
+		up := c.leafUp[plane][leafA][spine]
+		spineNode := c.G.Links[up].To
+		down := c.spineDown[[2]int{spineNode, c.leaf[plane][leafB]}]
+		path = append(path, up, down)
+	}
+	path = append(path, c.leafToNIC[b][plane])
+	return path
+}
+
+// PXNPaths returns the sender-side PXN paths from GPU (a,i) to GPU
+// (b,j): the message moves over NVLink to local GPU j (the one whose
+// NIC rail matches the destination), then through plane j. One path per
+// spine slot is returned for multipathing; same-leaf pairs have exactly
+// one path.
+func (c *Cluster) PXNPaths(a, i, b, j int) [][]int {
+	if a == b {
+		return [][]int{c.NVLinkPath(a, i, j)}
+	}
+	var prefix []int
+	if i != j {
+		prefix = c.NVLinkPath(a, i, j)
+	}
+	plane := j
+	return c.fanOut(prefix, a, b, plane, func(seg []int) []int {
+		seg = append(seg, c.nicToGPU[b][plane])
+		return seg
+	})
+}
+
+// ForwardPaths returns the receiver-side forwarding paths used by
+// DeepEP-style EP dispatch: GPU (a,i) sends through its own plane i to
+// the peer GPU (b,i), which forwards over NVLink to GPU (b,j).
+func (c *Cluster) ForwardPaths(a, i, b, j int) [][]int {
+	if a == b {
+		return [][]int{c.NVLinkPath(a, i, j)}
+	}
+	plane := i
+	return c.fanOut(nil, a, b, plane, func(seg []int) []int {
+		seg = append(seg, c.nicToGPU[b][plane])
+		if i != j {
+			seg = append(seg, c.NVLinkPath(b, i, j)...)
+		}
+		return seg
+	})
+}
+
+// PXNPathsVia routes GPU (a,i) -> GPU (b,j) through an arbitrary plane:
+// NVLink to the plane's local GPU, the plane's fabric, then NVLink at
+// the receiver if the plane is not the destination GPU's own. This is
+// the detour NCCL takes when a plane (or its NIC) has failed — the
+// multi-plane robustness mechanism of §5.1.1 / Figure 4.
+func (c *Cluster) PXNPathsVia(a, i, b, j, plane int) [][]int {
+	if a == b {
+		return [][]int{c.NVLinkPath(a, i, j)}
+	}
+	var prefix []int
+	if i != plane {
+		prefix = c.NVLinkPath(a, i, plane)
+	}
+	return c.fanOut(prefix, a, b, plane, func(seg []int) []int {
+		seg = append(seg, c.nicToGPU[b][plane])
+		if plane != j {
+			seg = append(seg, c.NVLinkPath(b, plane, j)...)
+		}
+		return seg
+	})
+}
+
+// fanOut builds prefix + GPU(a)->NIC + netSegment(spine) + suffix for
+// every spine slot (or the single same-leaf path).
+func (c *Cluster) fanOut(prefix []int, a, b, plane int, suffix func([]int) []int) [][]int {
+	sameLeaf := c.LeafOf(a) == c.LeafOf(b)
+	slots := 1
+	if !sameLeaf {
+		slots = c.SpineSlots(plane)
+	}
+	paths := make([][]int, 0, slots)
+	for s := 0; s < slots; s++ {
+		var p []int
+		p = append(p, prefix...)
+		p = append(p, c.gpuToNIC[a][plane])
+		p = append(p, c.netSegment(a, b, plane, s)...)
+		paths = append(paths, suffix(p))
+	}
+	return paths
+}

@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"dsv3/internal/netsim"
+	"dsv3/internal/units"
+)
+
+func TestBuildValidates(t *testing.T) {
+	for _, kind := range []FabricKind{MPFT, MRFT} {
+		c, err := Build(H800Config(4, kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.G.Validate(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if c.NumRanks() != 32 {
+			t.Errorf("ranks = %d, want 32", c.NumRanks())
+		}
+	}
+}
+
+func TestBuildRejectsBadConfig(t *testing.T) {
+	if _, err := Build(Config{}); err == nil {
+		t.Error("zero config must be rejected")
+	}
+}
+
+func TestRankMapping(t *testing.T) {
+	c, _ := Build(H800Config(2, MPFT))
+	n, g := c.RankOf(0)
+	if n != 0 || g != 0 {
+		t.Error("rank 0 should be (0,0)")
+	}
+	n, g = c.RankOf(9)
+	if n != 1 || g != 1 {
+		t.Errorf("rank 9 -> (%d,%d), want (1,1)", n, g)
+	}
+}
+
+func TestNVLinkPath(t *testing.T) {
+	c, _ := Build(H800Config(1, MPFT))
+	p := c.NVLinkPath(0, 0, 3)
+	if len(p) != 2 {
+		t.Fatalf("NVLink path should be 2 links, got %d", len(p))
+	}
+	if c.NVLinkPath(0, 2, 2) != nil {
+		t.Error("self NVLink path should be nil")
+	}
+	// Path endpoints: GPU0 -> NVSwitch -> GPU3.
+	g := c.G
+	if g.Links[p[0]].From != c.GPUID(0, 0) || g.Links[p[1]].To != c.GPUID(0, 3) {
+		t.Error("NVLink path endpoints wrong")
+	}
+}
+
+func pathEnds(t *testing.T, c *Cluster, path []int, wantFrom, wantTo int) {
+	t.Helper()
+	if len(path) == 0 {
+		t.Fatal("empty path")
+	}
+	if c.G.Links[path[0]].From != wantFrom {
+		t.Errorf("path starts at %d, want %d", c.G.Links[path[0]].From, wantFrom)
+	}
+	if c.G.Links[path[len(path)-1]].To != wantTo {
+		t.Errorf("path ends at %d, want %d", c.G.Links[path[len(path)-1]].To, wantTo)
+	}
+	// Contiguity.
+	for k := 1; k < len(path); k++ {
+		if c.G.Links[path[k]].From != c.G.Links[path[k-1]].To {
+			t.Fatalf("path not contiguous at hop %d", k)
+		}
+	}
+}
+
+func TestPXNPathsSameNode(t *testing.T) {
+	c, _ := Build(H800Config(2, MPFT))
+	paths := c.PXNPaths(0, 1, 0, 5)
+	if len(paths) != 1 {
+		t.Fatalf("same-node should have 1 path, got %d", len(paths))
+	}
+	pathEnds(t, c, paths[0], c.GPUID(0, 1), c.GPUID(0, 5))
+}
+
+func TestPXNPathsSameLeafCrossNode(t *testing.T) {
+	// Nodes 0 and 1 share a leaf (NICsPerLeaf=4).
+	c, _ := Build(H800Config(2, MPFT))
+	paths := c.PXNPaths(0, 2, 1, 6)
+	if len(paths) != 1 {
+		t.Fatalf("same-leaf pair should have 1 path, got %d", len(paths))
+	}
+	pathEnds(t, c, paths[0], c.GPUID(0, 2), c.GPUID(1, 6))
+	// The PXN path must traverse plane 6 (the destination GPU's plane):
+	// check it passes through NIC (0,6).
+	sawNIC := false
+	for _, lid := range paths[0] {
+		if c.G.Links[lid].From == c.nic[0][6] || c.G.Links[lid].To == c.nic[0][6] {
+			sawNIC = true
+		}
+	}
+	if !sawNIC {
+		t.Error("PXN path should use the destination-plane NIC on the source host")
+	}
+}
+
+func TestPXNPathsCrossLeafFanOut(t *testing.T) {
+	cfg := H800Config(8, MPFT) // leaves of 4 nodes: nodes 0..3 and 4..7
+	c, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := c.PXNPaths(0, 0, 5, 0)
+	if len(paths) != cfg.SpinesPerPlane {
+		t.Fatalf("cross-leaf paths = %d, want %d (one per spine)", len(paths), cfg.SpinesPerPlane)
+	}
+	for _, p := range paths {
+		pathEnds(t, c, p, c.GPUID(0, 0), c.GPUID(5, 0))
+	}
+}
+
+func TestForwardPathsReceiverSide(t *testing.T) {
+	c, _ := Build(H800Config(2, MPFT))
+	paths := c.ForwardPaths(0, 3, 1, 7)
+	if len(paths) != 1 {
+		t.Fatalf("same-leaf: 1 path, got %d", len(paths))
+	}
+	pathEnds(t, c, paths[0], c.GPUID(0, 3), c.GPUID(1, 7))
+	// Receiver-side forwarding uses the SOURCE plane (3), then NVLink on
+	// the destination host.
+	sawSrcNIC := false
+	for _, lid := range paths[0] {
+		if c.G.Links[lid].From == c.nic[0][3] {
+			sawSrcNIC = true
+		}
+	}
+	if !sawSrcNIC {
+		t.Error("forward path should leave through the source GPU's own NIC")
+	}
+}
+
+func TestMRFTSharedSpines(t *testing.T) {
+	cfg := H800Config(8, MRFT)
+	c, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every plane's leaves reach all shared spines.
+	want := cfg.SpinesPerPlane * cfg.GPUsPerNode
+	if got := c.SpineSlots(0); got != want {
+		t.Errorf("MRFT spine slots = %d, want %d", got, want)
+	}
+	// MPFT planes are isolated.
+	c2, _ := Build(H800Config(8, MPFT))
+	if got := c2.SpineSlots(0); got != cfg.SpinesPerPlane {
+		t.Errorf("MPFT spine slots = %d, want %d", got, cfg.SpinesPerPlane)
+	}
+}
+
+func TestMRFTAggregateUplinkMatchesMPFT(t *testing.T) {
+	// Hardware parity: total uplink capacity per leaf must match.
+	sum := func(c *Cluster) float64 {
+		var total float64
+		for _, lid := range c.leafUp[0][0] {
+			total += c.G.Links[lid].Capacity
+		}
+		return total
+	}
+	a, _ := Build(H800Config(8, MPFT))
+	b, _ := Build(H800Config(8, MRFT))
+	if math.Abs(sum(a)-sum(b)) > 1 {
+		t.Errorf("uplink capacity differs: MPFT %v vs MRFT %v", sum(a), sum(b))
+	}
+}
+
+// A PXN path simulated end-to-end must be NIC-bound: a single flow
+// should achieve the NIC effective rate.
+func TestPXNPathFlowRate(t *testing.T) {
+	c, _ := Build(H800Config(8, MPFT))
+	paths := c.PXNPaths(0, 0, 5, 3)
+	flow := netsim.Flow{Src: c.GPUID(0, 0), Dst: c.GPUID(5, 3), Bytes: 1 * units.GB, Paths: paths[:1]}
+	res := netsim.Simulate(c.G, []netsim.Flow{flow})
+	want := 1 * units.GB / NICEffective
+	if math.Abs(res.Makespan-want) > 1e-9 {
+		t.Errorf("PXN flow time = %v, want %v (NIC-bound)", res.Makespan, want)
+	}
+}
+
+// Table 5: the latency model must reproduce the paper's values exactly.
+func TestTable5Latencies(t *testing.T) {
+	p := DefaultLatencyParams()
+	cases := []struct {
+		layer    LinkLayer
+		sameLeaf bool
+		want     units.Seconds
+	}{
+		{RoCE, true, 3.6 * units.Microsecond},
+		{RoCE, false, 5.6 * units.Microsecond},
+		{IB, true, 2.8 * units.Microsecond},
+		{IB, false, 3.7 * units.Microsecond},
+		{NVLink, true, 3.33 * units.Microsecond},
+	}
+	for _, cse := range cases {
+		got := p.EndToEnd(cse.layer, cse.sameLeaf)
+		if math.Abs(got-cse.want) > 1e-12 {
+			t.Errorf("%v sameLeaf=%v: %v, want %v", cse.layer, cse.sameLeaf, got, cse.want)
+		}
+	}
+}
+
+func TestIBBeatsRoCE(t *testing.T) {
+	p := DefaultLatencyParams()
+	if p.EndToEnd(IB, true) >= p.EndToEnd(RoCE, true) {
+		t.Error("IB must have lower latency than RoCE (same leaf)")
+	}
+	if p.EndToEnd(IB, false) >= p.EndToEnd(RoCE, false) {
+		t.Error("IB must have lower latency than RoCE (cross leaf)")
+	}
+}
+
+func TestIBGDASaving(t *testing.T) {
+	p := DefaultLatencyParams()
+	with := p.EndToEnd(IB, true)
+	proxy := p.EndToEndWithProxy(IB, true)
+	if math.Abs((proxy-with)-CPUProxyOverhead) > 1e-15 {
+		t.Error("proxy overhead accounting wrong")
+	}
+	if CPUProxyOverhead <= 0 {
+		t.Error("IBGDA must save something")
+	}
+}
+
+func TestFabricKindString(t *testing.T) {
+	if MPFT.String() != "MPFT" || MRFT.String() != "MRFT" {
+		t.Error("fabric names wrong")
+	}
+	if IB.String() != "InfiniBand" || RoCE.String() != "RoCE" || NVLink.String() != "NVLink" {
+		t.Error("link layer names wrong")
+	}
+}
+
+func TestClusterConstants(t *testing.T) {
+	if NICLine != 50*units.GB {
+		t.Error("400 Gbps = 50 GB/s")
+	}
+	if NVLinkEffective >= NVLinkLine {
+		t.Error("effective NVLink must be below line rate")
+	}
+	if GB200NVL72Bandwidth/NICLine != 18 {
+		t.Errorf("NVL72:NIC bandwidth ratio should be 18x, got %v", GB200NVL72Bandwidth/NICLine)
+	}
+}

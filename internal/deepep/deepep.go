@@ -1,0 +1,318 @@
+// Package deepep models DeepEP, DeepSeek's expert-parallel all-to-all
+// library, on top of the cluster graph and flow simulator: FP8 token
+// dispatch and BF16 combine with IB deduplication (one copy per target
+// node) and NVLink forwarding at the receiver (§4.3, §4.4). It
+// regenerates Figure 7 and the node-limited-routing ablation.
+//
+// Reported bandwidth follows DeepEP's convention: the byte count
+// credits one hidden-vector copy per *distinct target node* (the
+// RDMA-level token count, source node included when targeted), divided
+// by the measured completion time. Because NVLink forwarding dedups the
+// wire traffic to remote nodes only, this figure can exceed the NIC
+// line rate — exactly as in the paper's Figure 7.
+package deepep
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dsv3/internal/cluster"
+	"dsv3/internal/moe"
+	"dsv3/internal/netsim"
+	"dsv3/internal/units"
+)
+
+// Config parametrizes one dispatch/combine measurement.
+type Config struct {
+	// TokensPerGPU is the per-rank batch (4096 in Figure 7).
+	TokensPerGPU int
+	// DispatchBytes is the per-token payload for dispatch: FP8 hidden
+	// vector, 7168 bytes for DeepSeek-V3.
+	DispatchBytes units.Bytes
+	// CombineBytes is the per-token payload for combine: BF16, 14336 B.
+	CombineBytes units.Bytes
+	// Gate routes tokens to experts.
+	Gate moe.Gate
+	// LaunchOverhead is the per-kernel software cost.
+	LaunchOverhead units.Seconds
+	// PerPeerRateCap bounds each (rank, remote node) RDMA stream: QP
+	// pipelining limits keep a single-peer stream well below line rate,
+	// which is why EP16 (one remote peer) sits lowest in Figure 7.
+	// DeepEP's own EP16 point implies ~21.5 GB/s per peer.
+	PerPeerRateCap units.BytesPerSecond
+	// DeterministicTraffic replaces each flow's sampled byte count with
+	// its category mean (IB / receiver-forward / local). At 4096
+	// tokens/GPU the sampled counts sit within ~2% of the mean anyway
+	// (symmetry makes every flow in a category i.i.d.), and collapsing
+	// them lets the fluid simulator finish whole categories in single
+	// events — orders of magnitude fewer rate recomputations at EP128.
+	DeterministicTraffic bool
+	// SampleTokens, when positive and below TokensPerGPU, routes only
+	// this many tokens per GPU and scales the traffic matrix up to the
+	// full TokensPerGPU. Useful with DeterministicTraffic, where only
+	// the category means matter.
+	SampleTokens int
+}
+
+// V3Config returns the Figure 7 configuration.
+func V3Config() Config {
+	return Config{
+		TokensPerGPU:   4096,
+		DispatchBytes:  7168,
+		CombineBytes:   14336,
+		Gate:           moe.V3Gate(),
+		LaunchOverhead: 20 * units.Microsecond,
+		PerPeerRateCap: 21.5 * units.GB,
+	}
+}
+
+// Result reports one kernel's simulated execution.
+type Result struct {
+	// Time is the completion time of the slowest flow plus launch.
+	Time units.Seconds
+	// CountedBytesPerGPU is the DeepEP-convention byte credit per rank.
+	CountedBytesPerGPU units.Bytes
+	// WireBytesPerGPU is the actual IB bytes injected per rank.
+	WireBytesPerGPU units.Bytes
+	// NVLinkBytesPerGPU is the intra-node forwarding volume per rank.
+	NVLinkBytesPerGPU units.Bytes
+	// Bandwidth = CountedBytesPerGPU / Time (the Figure 7 y-axis).
+	Bandwidth units.BytesPerSecond
+	// MeanNodes / MeanRemoteNodes are the dedup factors (§4.3).
+	MeanNodes       float64
+	MeanRemoteNodes float64
+}
+
+// traffic is the aggregated flow matrix one kernel induces.
+type traffic struct {
+	ib      map[[2]int]units.Bytes // (srcRank, dstNode) -> bytes
+	forward map[[3]int]units.Bytes // (node, fromGPU, toGPU) -> bytes (receiver side)
+	local   map[[3]int]units.Bytes // (node, fromGPU, toGPU) -> bytes (source side)
+	counted units.Bytes            // DeepEP byte credit, all ranks
+	nodes   float64                // sum of M over tokens
+	remote  float64                // sum of remote nodes over tokens
+	tokens  int
+}
+
+// route builds the traffic matrix by routing every token of every rank.
+func route(c *cluster.Cluster, cfg Config, payload units.Bytes, rng *rand.Rand) (*traffic, error) {
+	if err := cfg.Gate.Validate(); err != nil {
+		return nil, err
+	}
+	place := moe.Placement{Experts: cfg.Gate.Experts, Nodes: c.Cfg.Nodes, GPUsPerNode: c.Cfg.GPUsPerNode}
+	if err := place.Validate(); err != nil {
+		return nil, err
+	}
+	tr := &traffic{
+		ib:      make(map[[2]int]units.Bytes),
+		forward: make(map[[3]int]units.Bytes),
+		local:   make(map[[3]int]units.Bytes),
+	}
+	sample := cfg.TokensPerGPU
+	if cfg.SampleTokens > 0 && cfg.SampleTokens < sample {
+		sample = cfg.SampleTokens
+	}
+	scale := float64(cfg.TokensPerGPU) / float64(sample)
+	for rank := 0; rank < c.NumRanks(); rank++ {
+		srcNode, srcGPU := c.RankOf(rank)
+		for t := 0; t < sample; t++ {
+			experts := cfg.Gate.Route(cfg.Gate.RandomScores(rng), nil)
+			td := place.Dispatch(experts)
+			tr.tokens++
+			tr.nodes += float64(len(td.Nodes))
+			tr.counted += float64(len(td.Nodes)) * payload
+			for _, node := range td.Nodes {
+				if node == srcNode {
+					// Source-side NVLink multicast to local experts.
+					for _, gpu := range td.GPUsByNode[node] {
+						if gpu != srcGPU {
+							tr.local[[3]int{node, srcGPU, gpu}] += payload
+						}
+					}
+					continue
+				}
+				tr.remote++
+				// One deduplicated IB copy to the peer GPU in the same
+				// plane, then receiver-side NVLink forwarding.
+				tr.ib[[2]int{rank, node}] += payload
+				for _, gpu := range td.GPUsByNode[node] {
+					if gpu != srcGPU {
+						tr.forward[[3]int{node, srcGPU, gpu}] += payload
+					}
+				}
+			}
+		}
+	}
+	if scale != 1 {
+		for k := range tr.ib {
+			tr.ib[k] *= scale
+		}
+		for k := range tr.forward {
+			tr.forward[k] *= scale
+		}
+		for k := range tr.local {
+			tr.local[k] *= scale
+		}
+		tr.counted *= scale
+	}
+	return tr, nil
+}
+
+// flatten replaces each category's flow sizes with the category mean.
+func (tr *traffic) flatten() {
+	mean := func(m map[[2]int]units.Bytes) {
+		var sum units.Bytes
+		for _, b := range m {
+			sum += b
+		}
+		avg := sum / float64(len(m))
+		for k := range m {
+			m[k] = avg
+		}
+	}
+	mean3 := func(m map[[3]int]units.Bytes) {
+		var sum units.Bytes
+		for _, b := range m {
+			sum += b
+		}
+		avg := sum / float64(len(m))
+		for k := range m {
+			m[k] = avg
+		}
+	}
+	if len(tr.ib) > 0 {
+		mean(tr.ib)
+	}
+	if len(tr.forward) > 0 {
+		mean3(tr.forward)
+	}
+	if len(tr.local) > 0 {
+		mean3(tr.local)
+	}
+}
+
+// Dispatch simulates the EP dispatch kernel across the whole cluster.
+func Dispatch(c *cluster.Cluster, cfg Config, seed int64) (Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	tr, err := route(c, cfg, cfg.DispatchBytes, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.DeterministicTraffic {
+		tr.flatten()
+	}
+	flows := tr.flows(c, cfg, false)
+	return tr.measure(c, cfg, flows), nil
+}
+
+// Combine simulates the EP combine kernel: the exact mirror of
+// dispatch (NVLink gather at the expert node, deduplicated IB return,
+// BF16 payload).
+func Combine(c *cluster.Cluster, cfg Config, seed int64) (Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	tr, err := route(c, cfg, cfg.CombineBytes, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.DeterministicTraffic {
+		tr.flatten()
+	}
+	flows := tr.flows(c, cfg, true)
+	return tr.measure(c, cfg, flows), nil
+}
+
+// flows materializes the traffic matrix. reverse=false is dispatch
+// (token owner -> experts); reverse=true is combine (experts -> owner).
+func (tr *traffic) flows(c *cluster.Cluster, cfg Config, reverse bool) []netsim.Flow {
+	var flows []netsim.Flow
+	lat := cluster.DefaultLatencyParams()
+	add := func(src, dst int, paths [][]int, bytes units.Bytes, rateCap units.BytesPerSecond) {
+		flows = append(flows, netsim.Flow{
+			Src: src, Dst: dst, Bytes: bytes, Paths: paths,
+			StartupLatency: lat.HostOverheadIB + c.G.PathLatency(paths[0]),
+			RateCap:        rateCap,
+		})
+	}
+	for key, bytes := range tr.ib {
+		rank, node := key[0], key[1]
+		srcNode, srcGPU := c.RankOf(rank)
+		if reverse {
+			paths := c.ForwardPaths(node, srcGPU, srcNode, srcGPU)
+			add(c.GPUID(node, srcGPU), c.GPUID(srcNode, srcGPU), paths, bytes, cfg.PerPeerRateCap)
+		} else {
+			paths := c.ForwardPaths(srcNode, srcGPU, node, srcGPU)
+			add(c.GPUID(srcNode, srcGPU), c.GPUID(node, srcGPU), paths, bytes, cfg.PerPeerRateCap)
+		}
+	}
+	nvlink := func(m map[[3]int]units.Bytes) {
+		for key, bytes := range m {
+			node, from, to := key[0], key[1], key[2]
+			if reverse {
+				from, to = to, from
+			}
+			paths := [][]int{c.NVLinkPath(node, from, to)}
+			add(c.GPUID(node, from), c.GPUID(node, to), paths, bytes, 0)
+		}
+	}
+	nvlink(tr.forward)
+	nvlink(tr.local)
+	return flows
+}
+
+func (tr *traffic) measure(c *cluster.Cluster, cfg Config, flows []netsim.Flow) Result {
+	res := netsim.Simulate(c.G, flows)
+	ranks := float64(c.NumRanks())
+	var wire, nv units.Bytes
+	for _, b := range tr.ib {
+		wire += b
+	}
+	for _, b := range tr.forward {
+		nv += b
+	}
+	for _, b := range tr.local {
+		nv += b
+	}
+	t := res.Makespan + cfg.LaunchOverhead
+	out := Result{
+		Time:               t,
+		CountedBytesPerGPU: tr.counted / ranks,
+		WireBytesPerGPU:    wire / ranks,
+		NVLinkBytesPerGPU:  nv / ranks,
+		MeanNodes:          tr.nodes / float64(tr.tokens),
+		MeanRemoteNodes:    tr.remote / float64(tr.tokens),
+	}
+	out.Bandwidth = out.CountedBytesPerGPU / t
+	return out
+}
+
+// EPSweepPoint is one Figure 7 x-axis entry.
+type EPSweepPoint struct {
+	Ranks    int
+	Dispatch Result
+	Combine  Result
+}
+
+// Sweep runs dispatch and combine at each EP size (GPU count; must be a
+// multiple of 8). Clusters are built fresh per point on the MPFT fabric.
+func Sweep(cfg Config, epSizes []int, seed int64) ([]EPSweepPoint, error) {
+	var out []EPSweepPoint
+	for _, ranks := range epSizes {
+		if ranks%cluster.GPUsPerNode != 0 {
+			return nil, fmt.Errorf("deepep: EP size %d not a multiple of %d", ranks, cluster.GPUsPerNode)
+		}
+		c, err := cluster.Build(cluster.H800Config(ranks/cluster.GPUsPerNode, cluster.MPFT))
+		if err != nil {
+			return nil, err
+		}
+		d, err := Dispatch(c, cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		cb, err := Combine(c, cfg, seed+1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, EPSweepPoint{Ranks: ranks, Dispatch: d, Combine: cb})
+	}
+	return out, nil
+}

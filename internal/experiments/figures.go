@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dsv3/internal/cluster"
+	"dsv3/internal/collective"
+	"dsv3/internal/deepep"
+	"dsv3/internal/netsim"
+	"dsv3/internal/tablefmt"
+	"dsv3/internal/topology"
+	"dsv3/internal/units"
+)
+
+// Figure5Point is one (gpus, size) cell of the NCCL all-to-all sweep.
+type Figure5Point struct {
+	GPUs      int
+	Size      units.Bytes
+	MPFTAlgBW units.BytesPerSecond
+	MRFTAlgBW units.BytesPerSecond
+}
+
+// Figure5 sweeps all-to-all algorithm bandwidth over GPU counts and
+// message sizes on both fabrics.
+func Figure5(gpuCounts []int, sizes []units.Bytes) ([]Figure5Point, error) {
+	var out []Figure5Point
+	opts := collective.DefaultOptions()
+	for _, gpus := range gpuCounts {
+		mp, err := cluster.Build(cluster.H800Config(gpus/cluster.GPUsPerNode, cluster.MPFT))
+		if err != nil {
+			return nil, err
+		}
+		mr, err := cluster.Build(cluster.H800Config(gpus/cluster.GPUsPerNode, cluster.MRFT))
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range sizes {
+			a, err := collective.AllToAll(mp, gpus, size, opts)
+			if err != nil {
+				return nil, err
+			}
+			b, err := collective.AllToAll(mr, gpus, size, opts)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Figure5Point{GPUs: gpus, Size: size, MPFTAlgBW: a.AlgBW, MRFTAlgBW: b.AlgBW})
+		}
+	}
+	return out, nil
+}
+
+// DefaultFigure5Sizes returns a representative subset of the paper's
+// 128 MiB - 16 GiB x-axis.
+func DefaultFigure5Sizes() []units.Bytes {
+	return []units.Bytes{128 * units.MiB, 512 * units.MiB, 2 * units.GiB, 8 * units.GiB, 16 * units.GiB}
+}
+
+// RenderFigure5 renders the sweep.
+func RenderFigure5(points []Figure5Point) string {
+	t := tablefmt.New("Figure 5: NCCL all-to-all algorithm bandwidth, MPFT vs MRFT (paper: near-identical, up to ~60 GB/s)",
+		"GPUs", "Size", "MPFT GB/s", "MRFT GB/s", "diff%")
+	for _, p := range points {
+		diff := 0.0
+		if p.MRFTAlgBW > 0 {
+			diff = (p.MPFTAlgBW - p.MRFTAlgBW) / p.MRFTAlgBW * 100
+		}
+		t.AddRow(p.GPUs, units.FormatBytes(p.Size),
+			fmt.Sprintf("%.1f", p.MPFTAlgBW/units.GB),
+			fmt.Sprintf("%.1f", p.MRFTAlgBW/units.GB),
+			fmt.Sprintf("%+.2f", diff))
+	}
+	return t.String()
+}
+
+// Figure6Point is one message size of the 16-GPU latency comparison.
+type Figure6Point struct {
+	Size        units.Bytes
+	MPFTLatency units.Seconds
+	MRFTLatency units.Seconds
+	DiffPercent float64
+}
+
+// Figure6 compares all-to-all latency across message sizes on 16 GPUs.
+func Figure6(sizes []units.Bytes) ([]Figure6Point, error) {
+	mp, err := cluster.Build(cluster.H800Config(2, cluster.MPFT))
+	if err != nil {
+		return nil, err
+	}
+	mr, err := cluster.Build(cluster.H800Config(2, cluster.MRFT))
+	if err != nil {
+		return nil, err
+	}
+	opts := collective.DefaultOptions()
+	var out []Figure6Point
+	for _, size := range sizes {
+		a, err := collective.AllToAll(mp, 16, size, opts)
+		if err != nil {
+			return nil, err
+		}
+		b, err := collective.AllToAll(mr, 16, size, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure6Point{
+			Size:        size,
+			MPFTLatency: a.Time,
+			MRFTLatency: b.Time,
+			DiffPercent: (a.Time - b.Time) / b.Time * 100,
+		})
+	}
+	return out, nil
+}
+
+// DefaultFigure6Sizes spans the paper's 64 B - 16 GiB log axis.
+func DefaultFigure6Sizes() []units.Bytes {
+	return []units.Bytes{64, 4 * units.KiB, 256 * units.KiB, 16 * units.MiB, 1 * units.GiB, 16 * units.GiB}
+}
+
+// RenderFigure6 renders the latency comparison.
+func RenderFigure6(points []Figure6Point) string {
+	t := tablefmt.New("Figure 6: all-to-all latency on 16 GPUs, MPFT vs MRFT (paper: within ±1.5%)",
+		"Size", "MPFT", "MRFT", "diff%")
+	for _, p := range points {
+		t.AddRow(units.FormatBytes(p.Size), units.FormatSeconds(p.MPFTLatency),
+			units.FormatSeconds(p.MRFTLatency), fmt.Sprintf("%+.2f", p.DiffPercent))
+	}
+	return t.String()
+}
+
+// Figure7Paper holds the paper's measured DeepEP values (GB/s).
+var Figure7Paper = map[int][2]float64{
+	16:  {42.47, 43.05},
+	32:  {58.02, 56.96},
+	64:  {50.58, 48.54},
+	128: {45.34, 41.60},
+}
+
+// Figure7 runs the DeepEP dispatch/combine sweep at the paper's EP
+// sizes using the production batch (4096 tokens/GPU).
+func Figure7() ([]deepep.EPSweepPoint, error) {
+	cfg := deepep.V3Config()
+	cfg.DeterministicTraffic = true
+	cfg.SampleTokens = 512
+	return deepep.Sweep(cfg, []int{16, 32, 64, 128}, 7)
+}
+
+// RenderFigure7 renders the sweep with the paper's values.
+func RenderFigure7(points []deepep.EPSweepPoint) string {
+	t := tablefmt.New("Figure 7: DeepEP dispatch/combine bandwidth on MPFT (4096 tokens/GPU)",
+		"EP", "dispatch GB/s", "paper", "combine GB/s", "paper")
+	for _, p := range points {
+		paper := Figure7Paper[p.Ranks]
+		t.AddRow(p.Ranks,
+			fmt.Sprintf("%.2f", p.Dispatch.Bandwidth/units.GB), fmt.Sprintf("%.2f", paper[0]),
+			fmt.Sprintf("%.2f", p.Combine.Bandwidth/units.GB), fmt.Sprintf("%.2f", paper[1]))
+	}
+	return t.String()
+}
+
+// Figure8Point is one (TP, policy) bar.
+type Figure8Point struct {
+	TP     int
+	Policy netsim.Policy
+	BusBW  units.BytesPerSecond
+}
+
+// Figure8 measures ring AllGather/ReduceScatter aggregate bandwidth
+// under ECMP, adaptive routing, and static routing on a RoCE leaf-spine
+// fabric with concurrent groups (the mechanism behind §5.2.2).
+func Figure8() ([]Figure8Point, error) {
+	ft := topology.FatTree2{
+		Leaves: 4, Spines: 4, EndpointsPerLeaf: 8,
+		Params: topology.FabricParams{
+			EndpointLinkCap: 22 * units.GB, // 200GbE effective
+			SwitchLinkCap:   22 * units.GB,
+			EndpointLinkLat: 1.2 * units.Microsecond,
+			SwitchHopLat:    1.0 * units.Microsecond,
+		},
+	}
+	router := netsim.NewRouter(ft.Build())
+	eps := router.Graph().Endpoints()
+	opts := collective.DefaultOptions()
+	opts.PerFlowOverheadBytes = 0
+	var out []Figure8Point
+	for _, tp := range []int{8, 4, 2} {
+		groups := spreadGroups(eps, tp)
+		for _, pol := range []netsim.Policy{netsim.PolicyECMP, netsim.PolicyAdaptive, netsim.PolicyStatic} {
+			res, err := collective.RingCollective(router, groups, units.Bytes(256*units.MiB), pol, opts)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Figure8Point{TP: tp, Policy: pol, BusBW: res.MeanBusBW})
+		}
+	}
+	return out, nil
+}
+
+// spreadGroups builds TP groups whose members sit under different
+// leaves (member i of group g is endpoint g + i*groupCount).
+func spreadGroups(eps []int, tp int) [][]int {
+	count := len(eps) / tp
+	groups := make([][]int, count)
+	for gi := 0; gi < count; gi++ {
+		for i := 0; i < tp; i++ {
+			groups[gi] = append(groups[gi], eps[gi+i*count])
+		}
+	}
+	return groups
+}
+
+// RenderFigure8 renders the routing-policy comparison.
+func RenderFigure8(points []Figure8Point) string {
+	t := tablefmt.New("Figure 8: RoCE ring AG/RS aggregate bandwidth by routing policy (paper: AR ≈ Static >> ECMP)",
+		"TP", "Policy", "GB/s")
+	for _, p := range points {
+		t.AddRow(p.TP, p.Policy.String(), fmt.Sprintf("%.1f", p.BusBW/units.GB))
+	}
+	return t.String()
+}
+
+// PlaneFailureRow is one plane-failure scenario (§5.1.1 robustness).
+type PlaneFailureRow struct {
+	FailedPlanes int
+	Time         units.Seconds
+	Slowdown     float64
+}
+
+// PlaneFailure reruns a 32-GPU all-to-all with k planes failed: traffic
+// destined for a failed plane detours over a surviving plane (NVLink at
+// both ends). Degradation should be graceful — roughly 8/(8-k) — rather
+// than a connectivity loss.
+func PlaneFailure(failedCounts []int) ([]PlaneFailureRow, error) {
+	c, err := cluster.Build(cluster.H800Config(4, cluster.MPFT))
+	if err != nil {
+		return nil, err
+	}
+	opts := collective.DefaultOptions()
+	size := units.Bytes(1 * units.GiB)
+	var rows []PlaneFailureRow
+	var baseline units.Seconds
+	for _, failed := range failedCounts {
+		res, err := allToAllWithFailedPlanes(c, 32, size, failed, opts)
+		if err != nil {
+			return nil, err
+		}
+		if failed == 0 {
+			baseline = res
+		}
+		row := PlaneFailureRow{FailedPlanes: failed, Time: res}
+		if baseline > 0 {
+			row.Slowdown = res / baseline
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// allToAllWithFailedPlanes mirrors collective.AllToAll but reroutes
+// traffic whose home plane failed onto surviving planes round-robin.
+func allToAllWithFailedPlanes(c *cluster.Cluster, ranks int, perRank units.Bytes, failed int, opts collective.Options) (units.Seconds, error) {
+	alive := make([]int, 0, c.Planes()-failed)
+	for p := failed; p < c.Planes(); p++ {
+		alive = append(alive, p)
+	}
+	if len(alive) == 0 {
+		return 0, fmt.Errorf("experiments: all planes failed")
+	}
+	chunk := perRank / float64(ranks)
+	var flows []netsim.Flow
+	for r := 0; r < ranks; r++ {
+		srcNode, srcGPU := c.RankOf(r)
+		for q := 0; q < ranks; q++ {
+			if q == r {
+				continue
+			}
+			dstNode, dstGPU := c.RankOf(q)
+			plane := dstGPU
+			if plane < failed { // home plane down: detour
+				plane = alive[(r+q)%len(alive)]
+			}
+			paths := c.PXNPathsVia(srcNode, srcGPU, dstNode, dstGPU, plane)
+			flows = append(flows, netsim.Flow{
+				Src:            c.GPUID(srcNode, srcGPU),
+				Dst:            c.GPUID(dstNode, dstGPU),
+				Bytes:          chunk,
+				Paths:          paths,
+				StartupLatency: opts.HostLatency + c.G.PathLatency(paths[0]),
+			})
+		}
+	}
+	res := netsim.Simulate(c.G, flows)
+	return res.Makespan + opts.LaunchOverhead, nil
+}
+
+// RenderPlaneFailure renders the robustness table.
+func RenderPlaneFailure(rows []PlaneFailureRow) string {
+	t := tablefmt.New("§5.1.1: multi-plane robustness — all-to-all under plane failures (32 GPUs, 1 GiB/rank)",
+		"Failed planes", "Time", "Slowdown")
+	for _, r := range rows {
+		t.AddRow(r.FailedPlanes, units.FormatSeconds(r.Time), fmt.Sprintf("%.2fx", r.Slowdown))
+	}
+	return t.String()
+}

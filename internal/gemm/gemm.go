@@ -1,0 +1,215 @@
+// Package gemm implements the matrix-multiplication paths used by the
+// FP8 training study (§2.4, §3.1): a float64 reference, a BF16 path with
+// FP32 accumulation, and an FP8 path that reproduces DeepSeek-V3's
+// fine-grained recipe — 1×128 tile-wise activation scales, 128×128
+// block-wise weight scales, simulated Hopper FP22 tensor-core partial
+// sums, and per-128 promotion into an FP32 accumulator (the DeepGEMM
+// strategy).
+//
+// The matrices here are small by GPU standards; the point is numerical
+// fidelity, not speed. The error measurements these paths produce are
+// the artifact the paper's accuracy claims rest on.
+package gemm
+
+import (
+	"fmt"
+
+	"dsv3/internal/quant"
+)
+
+// Ref computes C = A·B in float64. A is m×k, B is k×n.
+func Ref(a, b *quant.Matrix) *quant.Matrix {
+	checkShapes(a, b)
+	c := quant.NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for kk := 0; kk < a.Cols; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(kk)
+			for j := range crow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// BF16 computes C = quantize(A)·quantize(B) with float32 accumulation —
+// the baseline precision DeepSeek-V3's FP8 recipe is compared against.
+func BF16(a, b *quant.Matrix) *quant.Matrix {
+	checkShapes(a, b)
+	qa := quantizeAll(quant.BF16, a)
+	qb := quantizeAll(quant.BF16, b)
+	c := quant.NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var acc float32
+			for kk := 0; kk < a.Cols; kk++ {
+				acc += float32(qa.At(i, kk)) * float32(qb.At(kk, j))
+			}
+			c.Set(i, j, float64(acc))
+		}
+	}
+	return c
+}
+
+// FP8Config selects the quantization granularity and accumulation path
+// of an FP8 GEMM.
+type FP8Config struct {
+	// Format is the FP8 element format (normally E4M3).
+	Format quant.Format
+	// Acc is the simulated tensor-core accumulator.
+	Acc quant.Accumulator
+	// PromoteEvery promotes tensor-core partials to FP32 every this many
+	// K elements (128 in DeepGEMM). Zero disables promotion: the whole K
+	// reduction stays in the tensor-core register, which is exactly the
+	// hazardous configuration §3.1.1 warns about.
+	PromoteEvery int
+	// PerTensorScales switches to one scale per tensor instead of
+	// tile/block scales — the coarse-granularity ablation.
+	PerTensorScales bool
+}
+
+// DeepSeekV3Recipe returns the configuration matching the production
+// recipe: E4M3, Hopper FP22 accumulation, promotion every 128.
+func DeepSeekV3Recipe() FP8Config {
+	return FP8Config{Format: quant.E4M3, Acc: quant.HopperFP8(), PromoteEvery: 128}
+}
+
+// Validate reports whether the configuration is self-consistent.
+// Fine-grained (tile/block) scales require promotion chunks that never
+// straddle a tile boundary: scaling factors can only be applied when a
+// partial sum leaves the tensor core, which is precisely the hardware
+// coupling §3.1.1 describes. Without promotion, only per-tensor scales
+// are expressible.
+func (cfg FP8Config) Validate() error {
+	if cfg.PerTensorScales {
+		return nil
+	}
+	if cfg.PromoteEvery <= 0 {
+		return errNoPromotionNeedsPerTensor
+	}
+	if quant.TileWidth%cfg.PromoteEvery != 0 {
+		return errChunkStraddlesTile
+	}
+	return nil
+}
+
+var (
+	errNoPromotionNeedsPerTensor = fmt.Errorf("gemm: fine-grained scales require promotion (set PerTensorScales or PromoteEvery)")
+	errChunkStraddlesTile        = fmt.Errorf("gemm: PromoteEvery must divide the %d-wide quantization tile", quant.TileWidth)
+)
+
+// FP8 computes C = A·B under the given FP8 configuration. Activations
+// (A) are quantized per 1×128 tile along K; weights (B) per 128×128
+// block. Partial products run through the simulated tensor-core
+// accumulator; scales multiply each promoted partial on the simulated
+// CUDA cores. The configuration must pass Validate.
+func FP8(a, b *quant.Matrix, cfg FP8Config) *quant.Matrix {
+	checkShapes(a, b)
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	k := a.Cols
+	promote := cfg.PromoteEvery
+	if promote <= 0 {
+		promote = k
+	}
+
+	// Quantize A row-by-row into raw FP8 codes plus per-tile scales. The
+	// raw (unscaled) codes are what the tensor cores see.
+	aCodes := quant.NewMatrix(a.Rows, a.Cols)
+	tilesPerRow := (k + quant.TileWidth - 1) / quant.TileWidth
+	aScales := make([][]float64, a.Rows)
+	if cfg.PerTensorScales {
+		// One scale for the whole activation tensor — the coarse baseline.
+		t := quant.QuantizePerTensor(cfg.Format, a.Data)
+		for i := 0; i < a.Rows; i++ {
+			aScales[i] = make([]float64, tilesPerRow)
+			for ti := range aScales[i] {
+				aScales[i][ti] = t.Scale
+			}
+			for c := 0; c < k; c++ {
+				aCodes.Set(i, c, t.Values[i*k+c]/t.Scale)
+			}
+		}
+	} else {
+		for i := 0; i < a.Rows; i++ {
+			aScales[i] = make([]float64, tilesPerRow)
+			row := a.Row(i)
+			for ti, tile := range quant.QuantizeRowTiles(cfg.Format, row) {
+				aScales[i][ti] = tile.Scale
+				for off, v := range tile.Values {
+					aCodes.Set(i, ti*quant.TileWidth+off, v/tile.Scale)
+				}
+			}
+		}
+	}
+
+	// Quantize B per 128×128 block. For the GEMM inner loop we need, for
+	// each (kTile, column), the raw code and the block scale.
+	blockCols := quant.TileWidth
+	if cfg.PerTensorScales {
+		blockCols = b.Cols
+	}
+	blockRows := quant.TileWidth
+	if cfg.PerTensorScales {
+		blockRows = b.Rows
+	}
+	bq, bScales := quant.QuantizeBlockwise(cfg.Format, b, blockRows, blockCols)
+	blocksPerRow := (b.Cols + blockCols - 1) / blockCols
+	bScaleAt := func(kIdx, col int) float64 {
+		return bScales[(kIdx/blockRows)*blocksPerRow+col/blockCols]
+	}
+
+	c := quant.NewMatrix(a.Rows, b.Cols)
+	x := make([]float64, 0, promote)
+	y := make([]float64, 0, promote)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var acc float32
+			for start := 0; start < k; start += promote {
+				end := start + promote
+				if end > k {
+					end = k
+				}
+				x, y = x[:0], y[:0]
+				for kk := start; kk < end; kk++ {
+					x = append(x, aCodes.At(i, kk))
+					y = append(y, bq.At(kk, j)/bScaleAt(kk, j))
+				}
+				partial := cfg.Acc.DotProduct(x, y)
+				// Dequantize: tile and block scales are constant across a
+				// 128-aligned chunk, so one multiply per promotion.
+				scale := aScales[i][start/quant.TileWidth] * bScaleAt(start, j)
+				if cfg.PromoteEvery <= 0 {
+					// No promotion: stay in the tensor-core register the
+					// whole way; apply scale at the very end.
+					acc = float32(partial * scale)
+				} else {
+					acc += float32(partial * scale)
+				}
+			}
+			c.Set(i, j, float64(acc))
+		}
+	}
+	return c
+}
+
+func checkShapes(a, b *quant.Matrix) {
+	if a.Cols != b.Rows {
+		panic("gemm: inner dimensions do not match")
+	}
+}
+
+// quantizeAll rounds every element of m to the format, elementwise with
+// no scaling — appropriate for BF16, whose dynamic range needs no scales.
+func quantizeAll(f quant.Format, m *quant.Matrix) *quant.Matrix {
+	out := quant.NewMatrix(m.Rows, m.Cols)
+	f.QuantizeSlice(out.Data, m.Data)
+	return out
+}

@@ -1,0 +1,232 @@
+package gemm
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsv3/internal/quant"
+	"dsv3/internal/stats"
+)
+
+func randMatrix(rng *rand.Rand, rows, cols int, sigma float64) *quant.Matrix {
+	m := quant.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * sigma
+	}
+	return m
+}
+
+func TestRefGEMMIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randMatrix(rng, 8, 8, 1)
+	id := quant.NewMatrix(8, 8)
+	for i := 0; i < 8; i++ {
+		id.Set(i, i, 1)
+	}
+	c := Ref(a, id)
+	for i := range c.Data {
+		if c.Data[i] != a.Data[i] {
+			t.Fatal("A·I != A")
+		}
+	}
+}
+
+func TestRefGEMMKnownValues(t *testing.T) {
+	a := quant.NewMatrix(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	b := quant.NewMatrix(3, 2)
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	c := Ref(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("C[%d] = %v, want %v", i, c.Data[i], want[i])
+		}
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on shape mismatch")
+		}
+	}()
+	Ref(quant.NewMatrix(2, 3), quant.NewMatrix(2, 2))
+}
+
+func TestBF16GEMMCloseToRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a := randMatrix(rng, 16, 512, 1)
+	b := randMatrix(rng, 512, 16, 1)
+	ref := Ref(a, b)
+	got := BF16(a, b)
+	rel, err := stats.RMSRelativeError(got.Data, ref.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BF16 inputs carry ~2^-8 relative noise; the accumulated GEMM error
+	// stays below ~1% on these shapes.
+	if rel > 0.01 {
+		t.Errorf("BF16 GEMM error %v too large", rel)
+	}
+}
+
+func TestFP8RecipeCloseToBF16(t *testing.T) {
+	// §2.4: the FP8 recipe (fine-grained scaling + promotion) keeps the
+	// relative loss below 0.25% of BF16's result quality. At the GEMM
+	// level, check the FP8 output is within a small factor of BF16's
+	// distance from the float64 reference.
+	rng := rand.New(rand.NewSource(33))
+	a := randMatrix(rng, 32, 1024, 1)
+	b := randMatrix(rng, 1024, 32, 1)
+	ref := Ref(a, b)
+	fp8 := FP8(a, b, DeepSeekV3Recipe())
+	relFP8, _ := stats.RMSRelativeError(fp8.Data, ref.Data)
+	if relFP8 > 0.05 {
+		t.Errorf("FP8 recipe GEMM error %v too large", relFP8)
+	}
+}
+
+func TestFP8FineGrainedBeatsPerTensorWithOutliers(t *testing.T) {
+	// Activation outliers are why DeepSeek-V3 uses 1×128 tiles. The
+	// damage mechanism is underflow: a shared scale pinned by an outlier
+	// token pushes quiet tokens' activations into the FP8 subnormal
+	// range. Quiet rows (tokens) of A must survive under fine-grained
+	// scaling and be destroyed under per-tensor scaling.
+	rng := rand.New(rand.NewSource(34))
+	a := randMatrix(rng, 16, 512, 1)
+	for i := 1; i < a.Rows; i += 2 { // half the tokens are quiet
+		for c := 0; c < a.Cols; c++ {
+			a.Set(i, c, a.At(i, c)*1e-4)
+		}
+	}
+	a.Set(0, 0, 300) // outlier pinning the per-tensor scale
+	b := randMatrix(rng, 512, 16, 1)
+	ref := Ref(a, b)
+
+	fine := FP8(a, b, DeepSeekV3Recipe())
+	coarseCfg := DeepSeekV3Recipe()
+	coarseCfg.PerTensorScales = true
+	coarse := FP8(a, b, coarseCfg)
+
+	// Compare per-row (per-token) relative errors so loud rows cannot
+	// mask quiet rows' destruction.
+	rowErr := func(c *quant.Matrix) float64 {
+		var total float64
+		for i := 0; i < c.Rows; i++ {
+			rel, _ := stats.RMSRelativeError(c.Row(i), ref.Row(i))
+			total += rel
+		}
+		return total / float64(c.Rows)
+	}
+	relFine, relCoarse := rowErr(fine), rowErr(coarse)
+	if relFine*5 > relCoarse {
+		t.Errorf("fine-grained (%v) should clearly beat per-tensor (%v) with outliers", relFine, relCoarse)
+	}
+}
+
+func TestPromotionImprovesLongKGEMM(t *testing.T) {
+	// §3.1.1 ablation at the GEMM level: without promotion the FP22
+	// register accumulates truncation error across K=4096. To see the
+	// accumulation error in isolation, feed the GEMM values that are
+	// already exactly FP8-representable with the tensor max pinned to
+	// the format max, forcing a scale of exactly 1 — then quantization
+	// is lossless and any output error is the accumulator's.
+	rng := rand.New(rand.NewSource(35))
+	exactFP8 := func(rows, cols int) *quant.Matrix {
+		m := quant.NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = quant.E4M3.Quantize(rng.NormFloat64())
+		}
+		m.Data[0] = 448 // pins max|x| so the shared scale is exactly 1
+		return m
+	}
+	a := exactFP8(8, 4096)
+	b := exactFP8(4096, 8)
+	ref := Ref(a, b)
+
+	promoted := DeepSeekV3Recipe()
+	promoted.PerTensorScales = true // isolate accumulation effects
+	unpromoted := promoted
+	unpromoted.PromoteEvery = 0
+
+	relP, _ := stats.RMSRelativeError(FP8(a, b, promoted).Data, ref.Data)
+	relU, _ := stats.RMSRelativeError(FP8(a, b, unpromoted).Data, ref.Data)
+	if relP*2 > relU {
+		t.Errorf("promotion should cut accumulation error: promoted %v vs unpromoted %v", relP, relU)
+	}
+}
+
+func TestFP8ConfigValidate(t *testing.T) {
+	good := DeepSeekV3Recipe()
+	if err := good.Validate(); err != nil {
+		t.Errorf("recipe should validate: %v", err)
+	}
+	bad := good
+	bad.PromoteEvery = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("fine-grained without promotion must be rejected")
+	}
+	bad = good
+	bad.PromoteEvery = 96 // straddles the 128 tile
+	if err := bad.Validate(); err == nil {
+		t.Error("chunk straddling a tile must be rejected")
+	}
+	bad.PerTensorScales = true
+	if err := bad.Validate(); err != nil {
+		t.Errorf("per-tensor scales lift the restriction: %v", err)
+	}
+	sub := good
+	sub.PromoteEvery = 64 // divides 128: allowed
+	if err := sub.Validate(); err != nil {
+		t.Errorf("PromoteEvery=64 should validate: %v", err)
+	}
+}
+
+func TestFP8InvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	cfg := DeepSeekV3Recipe()
+	cfg.PromoteEvery = 0
+	FP8(quant.NewMatrix(4, 256), quant.NewMatrix(256, 4), cfg)
+}
+
+func TestFP8NonTileAlignedK(t *testing.T) {
+	// K not a multiple of 128 exercises the short final tile.
+	rng := rand.New(rand.NewSource(36))
+	a := randMatrix(rng, 4, 200, 1)
+	b := randMatrix(rng, 200, 4, 1)
+	ref := Ref(a, b)
+	got := FP8(a, b, DeepSeekV3Recipe())
+	rel, _ := stats.RMSRelativeError(got.Data, ref.Data)
+	if rel > 0.08 {
+		t.Errorf("short-tile GEMM error %v too large", rel)
+	}
+}
+
+func TestFP8ZeroMatrices(t *testing.T) {
+	a := quant.NewMatrix(4, 128)
+	b := quant.NewMatrix(128, 4)
+	c := FP8(a, b, DeepSeekV3Recipe())
+	for _, v := range c.Data {
+		if v != 0 {
+			t.Fatalf("zero GEMM produced %v", v)
+		}
+	}
+}
+
+func TestGEMMErrorOrdering(t *testing.T) {
+	// Sanity ordering on plain gaussian data: ref(0) <= bf16 <= fp8.
+	rng := rand.New(rand.NewSource(37))
+	a := randMatrix(rng, 16, 1024, 1)
+	b := randMatrix(rng, 1024, 16, 1)
+	ref := Ref(a, b)
+	relBF, _ := stats.RMSRelativeError(BF16(a, b).Data, ref.Data)
+	relFP8, _ := stats.RMSRelativeError(FP8(a, b, DeepSeekV3Recipe()).Data, ref.Data)
+	if relBF >= relFP8 {
+		t.Errorf("BF16 (%v) should be more accurate than FP8 (%v)", relBF, relFP8)
+	}
+}

@@ -1,0 +1,78 @@
+package gemm
+
+import (
+	"math"
+	"math/rand"
+
+	"dsv3/internal/quant"
+)
+
+// This file implements the checksum-based validation the paper's §6.1.2
+// recommends against silent data corruption (SDC): multi-bit flips and
+// computational errors that slip past ECC and "propagate undetected and
+// corrupt downstream computations". Freivalds' verification checks
+// C = A·B in O(n²) — per-GEMM cost proportional to one extra GEMV —
+// with failure probability ≤ 2^-trials for random sign vectors, which
+// is exactly the application-level redundancy check a training job can
+// afford to run continuously.
+
+// VerifyGEMM probabilistically checks that c = a·b. It draws `trials`
+// random ±1 vectors r and compares a·(b·r) against c·r. tol absorbs the
+// floating-point noise of honest low-precision GEMMs: the comparison is
+// |diff| <= tol·(|a||b||r| scale); corrupted entries produce residuals
+// orders of magnitude above it.
+func VerifyGEMM(a, b, c *quant.Matrix, trials int, tol float64, rng *rand.Rand) bool {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		return false
+	}
+	n := b.Cols
+	for t := 0; t < trials; t++ {
+		r := make([]float64, n)
+		for i := range r {
+			if rng.Intn(2) == 0 {
+				r[i] = 1
+			} else {
+				r[i] = -1
+			}
+		}
+		// br = b·r (k), then abr = a·br (m); cr = c·r (m).
+		br := make([]float64, b.Rows)
+		for i := 0; i < b.Rows; i++ {
+			row := b.Row(i)
+			var s float64
+			for j, rv := range r {
+				s += row[j] * rv
+			}
+			br[i] = s
+		}
+		// Scale reference for the tolerance: ||a||_inf ||b·r||_inf.
+		var scale float64
+		for i := 0; i < a.Rows; i++ {
+			row := a.Row(i)
+			var s, rowAbs float64
+			for k, av := range row {
+				s += av * br[k]
+				rowAbs += math.Abs(av) * math.Abs(br[k])
+			}
+			crow := c.Row(i)
+			var cr float64
+			for j, rv := range r {
+				cr += crow[j] * rv
+			}
+			scale = rowAbs + math.Abs(cr)
+			if math.Abs(s-cr) > tol*scale+1e-30 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// InjectFault flips one value of the matrix to simulate a silent
+// corruption (a large single-element error, the multi-bit-flip case the
+// paper worries about). Returns the corrupted copy.
+func InjectFault(m *quant.Matrix, row, col int, delta float64) *quant.Matrix {
+	out := m.Clone()
+	out.Set(row, col, out.At(row, col)+delta)
+	return out
+}

@@ -1,0 +1,85 @@
+package gemm
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsv3/internal/quant"
+)
+
+func TestVerifyGEMMAcceptsCorrectProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	a := randMatrix(rng, 24, 96, 1)
+	b := randMatrix(rng, 96, 24, 1)
+	c := Ref(a, b)
+	if !VerifyGEMM(a, b, c, 8, 1e-9, rng) {
+		t.Error("exact product must verify")
+	}
+}
+
+func TestVerifyGEMMAcceptsLowPrecisionProduct(t *testing.T) {
+	// Honest BF16/FP8 rounding noise must pass with a matching
+	// tolerance — SDC detection must not flag normal quantization.
+	rng := rand.New(rand.NewSource(72))
+	a := randMatrix(rng, 16, 256, 1)
+	b := randMatrix(rng, 256, 16, 1)
+	if !VerifyGEMM(a, b, BF16(a, b), 8, 1e-2, rng) {
+		t.Error("BF16 product should verify at matching tolerance")
+	}
+	if !VerifyGEMM(a, b, FP8(a, b, DeepSeekV3Recipe()), 8, 0.2, rng) {
+		t.Error("FP8 product should verify at matching tolerance")
+	}
+}
+
+func TestVerifyGEMMDetectsInjectedFault(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	a := randMatrix(rng, 24, 96, 1)
+	b := randMatrix(rng, 96, 24, 1)
+	c := Ref(a, b)
+	// A multi-bit-flip-sized corruption in one output element.
+	bad := InjectFault(c, 5, 7, 1000)
+	if VerifyGEMM(a, b, bad, 8, 1e-6, rng) {
+		t.Error("large injected fault must be detected")
+	}
+	// Even a modest corruption is caught: Freivalds residuals of a
+	// single corrupted element do not cancel across ±1 probes.
+	small := InjectFault(c, 3, 3, 1.5)
+	if VerifyGEMM(a, b, small, 8, 1e-6, rng) {
+		t.Error("moderate injected fault must be detected")
+	}
+}
+
+func TestVerifyGEMMDetectsInputCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	a := randMatrix(rng, 16, 64, 1)
+	b := randMatrix(rng, 64, 16, 1)
+	c := Ref(a, b)
+	badA := InjectFault(a, 2, 2, 500)
+	// C no longer matches the (corrupted) inputs.
+	if VerifyGEMM(badA, b, c, 8, 1e-6, rng) {
+		t.Error("input corruption must surface as verification failure")
+	}
+}
+
+func TestVerifyGEMMRejectsShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	a := randMatrix(rng, 4, 8, 1)
+	b := randMatrix(rng, 8, 4, 1)
+	c := quant.NewMatrix(5, 4) // wrong rows
+	if VerifyGEMM(a, b, c, 2, 1e-9, rng) {
+		t.Error("shape mismatch must fail verification")
+	}
+}
+
+func TestInjectFaultIsNonDestructive(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	m := randMatrix(rng, 4, 4, 1)
+	orig := m.At(1, 1)
+	out := InjectFault(m, 1, 1, 7)
+	if m.At(1, 1) != orig {
+		t.Error("InjectFault must not mutate the input")
+	}
+	if out.At(1, 1) != orig+7 {
+		t.Error("InjectFault must apply the delta")
+	}
+}

@@ -1,0 +1,105 @@
+package inference
+
+import (
+	"math"
+	"testing"
+
+	"dsv3/internal/units"
+)
+
+// §2.3.2: the paper's own arithmetic must reproduce to the digit.
+func TestPaperIBNumbers(t *testing.T) {
+	cfg := V3EPConfig()
+	a, err := cfg.Analyze(50 * units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.CommTime-120.96*units.Microsecond) > 1e-9 {
+		t.Errorf("comm time = %v, want 120.96us", units.FormatSeconds(a.CommTime))
+	}
+	if math.Abs(a.TimePerLayer-241.92*units.Microsecond) > 1e-9 {
+		t.Errorf("time/layer = %v, want 241.92us", units.FormatSeconds(a.TimePerLayer))
+	}
+	if math.Abs(a.TPOT-14.75712*units.Millisecond) > 1e-6 {
+		t.Errorf("TPOT = %v, want 14.76ms", units.FormatSeconds(a.TPOT))
+	}
+	if math.Abs(a.TPS-67.76) > 0.1 {
+		t.Errorf("TPS = %v, want ~67", a.TPS)
+	}
+}
+
+func TestPaperNVL72Numbers(t *testing.T) {
+	cfg := V3EPConfig()
+	a, err := cfg.Analyze(900 * units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.CommTime-6.72*units.Microsecond) > 1e-9 {
+		t.Errorf("comm time = %v, want 6.72us", units.FormatSeconds(a.CommTime))
+	}
+	if math.Abs(a.TPOT-0.81984*units.Millisecond) > 1e-7 {
+		t.Errorf("TPOT = %v, want 0.82ms", units.FormatSeconds(a.TPOT))
+	}
+	if a.TPS < 1190 || a.TPS > 1230 {
+		t.Errorf("TPS = %v, want ~1200", a.TPS)
+	}
+}
+
+func TestCommBytes(t *testing.T) {
+	cfg := V3EPConfig()
+	// (1+2) bytes × 32 tokens × 9 copies × 7000 (the paper's "7K").
+	want := 3.0 * 32 * 9 * 7000
+	if got := cfg.CommBytesPerStep(); got != want {
+		t.Errorf("comm bytes = %v, want %v", got, want)
+	}
+}
+
+func TestSweepMonotone(t *testing.T) {
+	cfg := V3EPConfig()
+	pts, err := cfg.Sweep([]units.BytesPerSecond{40 * units.GB, 50 * units.GB, 400 * units.GB, 900 * units.GB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Analysis.TPS <= pts[i-1].Analysis.TPS {
+			t.Errorf("TPS must rise with bandwidth: %+v", pts)
+		}
+	}
+	// 18x bandwidth => exactly 18x TPS in the latency-free model.
+	ratio := pts[3].Analysis.TPS / pts[1].Analysis.TPS
+	if math.Abs(ratio-18) > 1e-9 {
+		t.Errorf("TPS ratio = %v, want 18", ratio)
+	}
+}
+
+func TestAnalyzeWithCompute(t *testing.T) {
+	cfg := V3EPConfig()
+	free, _ := cfg.Analyze(50 * units.GB)
+	// Compute below comm time: fully hidden by overlap.
+	hidden, err := cfg.AnalyzeWithCompute(50*units.GB, 100*units.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hidden.TPOT != free.TPOT {
+		t.Errorf("sub-comm compute should be hidden: %v vs %v", hidden.TPOT, free.TPOT)
+	}
+	// Compute above comm time: compute-bound.
+	bound, _ := cfg.AnalyzeWithCompute(50*units.GB, 200*units.Microsecond)
+	if math.Abs(bound.TimePerLayer-400*units.Microsecond) > 1e-12 {
+		t.Errorf("compute-bound layer time = %v, want 400us", bound.TimePerLayer)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := V3EPConfig()
+	bad.Layers = 0
+	if _, err := bad.Analyze(50 * units.GB); err == nil {
+		t.Error("zero layers must fail")
+	}
+	if _, err := V3EPConfig().Analyze(0); err == nil {
+		t.Error("zero bandwidth must fail")
+	}
+	if _, err := V3EPConfig().Sweep([]units.BytesPerSecond{-1}); err == nil {
+		t.Error("negative bandwidth must fail in sweep")
+	}
+}

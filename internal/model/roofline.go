@@ -1,0 +1,71 @@
+package model
+
+import "dsv3/internal/units"
+
+// Deployment describes a local/on-premises inference target for the
+// §2.2.2 analysis. Decode on such systems is memory-bandwidth bound:
+// every generated token streams the activated parameters through the
+// memory system once, so TPS ≈ effective bandwidth / bytes-per-token.
+type Deployment struct {
+	Name string
+	// MemBandwidth is the peak bandwidth of the memory that holds the
+	// streamed parameters (unified memory for an AI SoC; host DRAM for a
+	// KTransformers-style CPU+GPU split).
+	MemBandwidth units.BytesPerSecond
+	// Efficiency is the achieved fraction of peak bandwidth (0..1].
+	Efficiency float64
+	// BytesPerParam is the stored width: 2 (BF16), 1 (FP8), 0.5 (Q4).
+	BytesPerParam float64
+	// OffloadExperts models the KTransformers split (§2.2.2): attention
+	// and shared experts live in GPU VRAM (fast), and only the routed
+	// experts stream from host memory — so only they count against
+	// MemBandwidth.
+	OffloadExperts bool
+}
+
+// AISoC returns a 2024-class AI PC SoC (Apple M4-Max / Ryzen AI Max
+// class): ~500 GB/s unified memory.
+func AISoC() Deployment {
+	return Deployment{
+		Name:          "AI SoC (unified memory ~546 GB/s)",
+		MemBandwidth:  546 * units.GB,
+		Efficiency:    0.85,
+		BytesPerParam: 1, // FP8 weights
+	}
+}
+
+// ConsumerGPUServer returns the ~$10k KTransformers deployment from the
+// paper: one consumer GPU plus a dual-socket server whose DRAM streams
+// the routed experts (4-bit quantized).
+func ConsumerGPUServer() Deployment {
+	return Deployment{
+		Name:           "Consumer-GPU server (KTransformers, DDR5 ~560 GB/s)",
+		MemBandwidth:   560 * units.GB,
+		Efficiency:     0.65,
+		BytesPerParam:  0.5, // Q4 experts
+		OffloadExperts: true,
+	}
+}
+
+// BytesPerToken returns how many bytes one decoded token streams from
+// the deployment's bandwidth-limiting memory.
+func (d Deployment) BytesPerToken(c *Config) float64 {
+	p := c.Params()
+	params := p.Active
+	if d.OffloadExperts && c.MoE != nil {
+		// Only the routed experts stream from host memory.
+		moeLayers := float64(c.Layers - c.MoE.FirstDenseLayers)
+		params = float64(c.MoE.ActivatedRouted) * p.ExpertParams * moeLayers
+	}
+	return params * d.BytesPerParam
+}
+
+// DecodeTPS returns the roofline decode speed, in tokens per second, of
+// the model on this deployment for a single request (batch 1).
+func (d Deployment) DecodeTPS(c *Config) float64 {
+	bytes := d.BytesPerToken(c)
+	if bytes == 0 {
+		return 0
+	}
+	return d.MemBandwidth * d.Efficiency / bytes
+}

@@ -1,0 +1,301 @@
+// Package moe implements the DeepSeekMoE router: sigmoid expert
+// affinities, the group-limited ("node-limited") top-k selection of
+// §4.3, expert placement across an EP group, and the aux-loss-free
+// bias-based load balancing used by DeepSeek-V3. The routing statistics
+// this package produces (how many distinct nodes a token touches) drive
+// the DeepEP communication model and the §4.3 traffic-deduplication
+// experiment.
+package moe
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Gate is the expert router configuration.
+type Gate struct {
+	Experts int // routed experts (256 in V3)
+	TopK    int // routed experts activated per token (8 in V3)
+	// Groups partitions experts into contiguous groups (8 in V3, one
+	// per node in the reference deployment).
+	Groups int
+	// GroupTopK limits each token to this many groups (4 in V3).
+	// Zero disables the limit (the ablation baseline).
+	GroupTopK int
+}
+
+// V3Gate returns DeepSeek-V3's gate: 256 experts, top-8, 8 groups,
+// at most 4 groups per token.
+func V3Gate() Gate { return Gate{Experts: 256, TopK: 8, Groups: 8, GroupTopK: 4} }
+
+// Validate checks the configuration is routable.
+func (g Gate) Validate() error {
+	if g.Experts <= 0 || g.TopK <= 0 || g.TopK > g.Experts {
+		return fmt.Errorf("moe: bad gate sizes %+v", g)
+	}
+	if g.Groups > 0 {
+		if g.Experts%g.Groups != 0 {
+			return fmt.Errorf("moe: experts (%d) must divide into groups (%d)", g.Experts, g.Groups)
+		}
+		if g.GroupTopK > 0 && g.TopK > g.GroupTopK*(g.Experts/g.Groups) {
+			return fmt.Errorf("moe: top-%d cannot fit in %d groups of %d", g.TopK, g.GroupTopK, g.Experts/g.Groups)
+		}
+	}
+	return nil
+}
+
+// GroupOf returns the group index of an expert.
+func (g Gate) GroupOf(expert int) int { return expert / (g.Experts / g.Groups) }
+
+// Route selects the top-k experts for one token given its per-expert
+// affinity scores (higher is better; V3 uses sigmoid affinities).
+// bias, if non-nil, is added to scores for *selection only* — the
+// aux-loss-free balancing mechanism. The group limit is applied first:
+// groups are ranked by the sum of their top-2 biased scores, the best
+// GroupTopK groups survive, then the global top-k is taken inside them.
+func (g Gate) Route(scores, bias []float64) []int {
+	if len(scores) != g.Experts {
+		panic(fmt.Sprintf("moe: got %d scores for %d experts", len(scores), g.Experts))
+	}
+	sel := func(e int) float64 {
+		if bias != nil {
+			return scores[e] + bias[e]
+		}
+		return scores[e]
+	}
+
+	allowed := make([]bool, g.Experts)
+	if g.Groups > 0 && g.GroupTopK > 0 && g.GroupTopK < g.Groups {
+		perGroup := g.Experts / g.Groups
+		type groupScore struct {
+			group int
+			score float64
+		}
+		gs := make([]groupScore, g.Groups)
+		for grp := 0; grp < g.Groups; grp++ {
+			// Group score = sum of the top-2 member affinities (V3 rule).
+			best, second := math.Inf(-1), math.Inf(-1)
+			for e := grp * perGroup; e < (grp+1)*perGroup; e++ {
+				s := sel(e)
+				if s > best {
+					best, second = s, best
+				} else if s > second {
+					second = s
+				}
+			}
+			gs[grp] = groupScore{grp, best + second}
+		}
+		sort.Slice(gs, func(a, b int) bool {
+			if gs[a].score != gs[b].score {
+				return gs[a].score > gs[b].score
+			}
+			return gs[a].group < gs[b].group
+		})
+		for _, x := range gs[:g.GroupTopK] {
+			grp := x.group
+			for e := grp * perGroup; e < (grp+1)*perGroup; e++ {
+				allowed[e] = true
+			}
+		}
+	} else {
+		for e := range allowed {
+			allowed[e] = true
+		}
+	}
+
+	candidates := make([]int, 0, g.Experts)
+	for e := 0; e < g.Experts; e++ {
+		if allowed[e] {
+			candidates = append(candidates, e)
+		}
+	}
+	sort.Slice(candidates, func(a, b int) bool {
+		sa, sb := sel(candidates[a]), sel(candidates[b])
+		if sa != sb {
+			return sa > sb
+		}
+		return candidates[a] < candidates[b]
+	})
+	out := append([]int(nil), candidates[:g.TopK]...)
+	sort.Ints(out)
+	return out
+}
+
+// RandomScores draws i.i.d. sigmoid-like affinities in (0,1).
+func (g Gate) RandomScores(rng *rand.Rand) []float64 {
+	s := make([]float64, g.Experts)
+	for i := range s {
+		s[i] = rng.Float64()
+	}
+	return s
+}
+
+// Placement maps experts onto an EP group: Nodes hosts of GPUsPerNode
+// GPUs, experts distributed contiguously (experts-per-GPU =
+// Experts / (Nodes·GPUsPerNode)).
+type Placement struct {
+	Experts     int
+	Nodes       int
+	GPUsPerNode int
+}
+
+// Validate checks divisibility.
+func (p Placement) Validate() error {
+	total := p.Nodes * p.GPUsPerNode
+	if total <= 0 || p.Experts%total != 0 {
+		return fmt.Errorf("moe: %d experts cannot spread evenly over %d GPUs", p.Experts, total)
+	}
+	return nil
+}
+
+// PerGPU returns experts per GPU.
+func (p Placement) PerGPU() int { return p.Experts / (p.Nodes * p.GPUsPerNode) }
+
+// GPUOf returns the (node, gpu) hosting an expert.
+func (p Placement) GPUOf(expert int) (node, gpu int) {
+	g := expert / p.PerGPU()
+	return g / p.GPUsPerNode, g % p.GPUsPerNode
+}
+
+// NodeOf returns the node hosting an expert.
+func (p Placement) NodeOf(expert int) int {
+	n, _ := p.GPUOf(expert)
+	return n
+}
+
+// TokenDispatch summarizes where one token's experts live.
+type TokenDispatch struct {
+	Experts []int
+	// Nodes is the deduplicated set of target nodes.
+	Nodes []int
+	// GPUsByNode maps a target node to the deduplicated GPU indices the
+	// token must reach there (for NVLink forwarding fan-out).
+	GPUsByNode map[int][]int
+}
+
+// Dispatch computes the dedup structure of a routed token.
+func (p Placement) Dispatch(experts []int) TokenDispatch {
+	td := TokenDispatch{Experts: experts, GPUsByNode: make(map[int][]int)}
+	seenNode := map[int]bool{}
+	seenGPU := map[[2]int]bool{}
+	for _, e := range experts {
+		n, g := p.GPUOf(e)
+		if !seenNode[n] {
+			seenNode[n] = true
+			td.Nodes = append(td.Nodes, n)
+		}
+		if !seenGPU[[2]int{n, g}] {
+			seenGPU[[2]int{n, g}] = true
+			td.GPUsByNode[n] = append(td.GPUsByNode[n], g)
+		}
+	}
+	sort.Ints(td.Nodes)
+	for _, gpus := range td.GPUsByNode {
+		sort.Ints(gpus)
+	}
+	return td
+}
+
+// RoutingStats aggregates dispatch structure over many tokens.
+type RoutingStats struct {
+	Tokens int
+	// MeanNodes is E[M]: distinct target nodes per token (source node
+	// included when targeted) — the paper's deduplicated IB cost factor.
+	MeanNodes float64
+	// MeanRemoteNodes excludes the source node: actual IB transfers.
+	MeanRemoteNodes float64
+	// MaxNodes is the worst-case M observed.
+	MaxNodes int
+	// MeanGPUFanout is the mean number of distinct (node,gpu) targets.
+	MeanGPUFanout float64
+	// ExpertLoad[e] counts how many tokens selected expert e.
+	ExpertLoad []int
+}
+
+// CollectStats routes `tokens` synthetic tokens from the given source
+// node and aggregates dispatch statistics. bias may be nil.
+func CollectStats(g Gate, p Placement, tokens, srcNode int, bias []float64, rng *rand.Rand) RoutingStats {
+	st := RoutingStats{Tokens: tokens, ExpertLoad: make([]int, g.Experts)}
+	for t := 0; t < tokens; t++ {
+		experts := g.Route(g.RandomScores(rng), bias)
+		td := p.Dispatch(experts)
+		st.MeanNodes += float64(len(td.Nodes))
+		if len(td.Nodes) > st.MaxNodes {
+			st.MaxNodes = len(td.Nodes)
+		}
+		remote := 0
+		fan := 0
+		for _, n := range td.Nodes {
+			if n != srcNode {
+				remote++
+			}
+			fan += len(td.GPUsByNode[n])
+		}
+		st.MeanRemoteNodes += float64(remote)
+		st.MeanGPUFanout += float64(fan)
+		for _, e := range experts {
+			st.ExpertLoad[e]++
+		}
+	}
+	n := float64(tokens)
+	st.MeanNodes /= n
+	st.MeanRemoteNodes /= n
+	st.MeanGPUFanout /= n
+	return st
+}
+
+// LoadBalancer implements DeepSeek-V3's aux-loss-free load balancing:
+// a per-expert bias adjusted by a fixed step in the direction that
+// evens out expert load. The bias only affects selection, never the
+// gate weights.
+type LoadBalancer struct {
+	Bias []float64
+	Step float64
+}
+
+// NewLoadBalancer creates a balancer for n experts.
+func NewLoadBalancer(n int, step float64) *LoadBalancer {
+	return &LoadBalancer{Bias: make([]float64, n), Step: step}
+}
+
+// Update nudges biases after observing a batch of expert loads:
+// overloaded experts get pushed down, underloaded ones up.
+func (lb *LoadBalancer) Update(load []int) {
+	if len(load) != len(lb.Bias) {
+		panic("moe: load/bias length mismatch")
+	}
+	total := 0
+	for _, c := range load {
+		total += c
+	}
+	mean := float64(total) / float64(len(load))
+	for e, c := range load {
+		switch {
+		case float64(c) > mean:
+			lb.Bias[e] -= lb.Step
+		case float64(c) < mean:
+			lb.Bias[e] += lb.Step
+		}
+	}
+}
+
+// LoadImbalance returns max/mean expert load, 1.0 being perfect.
+func LoadImbalance(load []int) float64 {
+	if len(load) == 0 {
+		return 0
+	}
+	total, max := 0, 0
+	for _, c := range load {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(load))
+	return float64(max) / mean
+}

@@ -1,0 +1,301 @@
+// Package netsim is a flow-level discrete-event network simulator: the
+// substitute for the real 2,048-GPU cluster the paper measured on.
+//
+// Traffic is modelled as fluid flows over the directed link graph from
+// internal/topology. At any instant, active flows receive max-min fair
+// rates (progressive filling — the equilibrium a congestion-controlled
+// fabric approximates); the simulator advances directly from one flow
+// completion to the next, recomputing rates at each event. A flow may
+// be split over several equal-cost paths ("subflows") to model adaptive
+// routing / packet spraying; single-path flows model ECMP-hashed or
+// statically routed traffic.
+//
+// Small-message behaviour is captured by a per-flow startup latency
+// (path propagation + NIC/software overheads), which the latency
+// experiments (Table 5, Figure 6) are built on.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dsv3/internal/topology"
+	"dsv3/internal/units"
+)
+
+// Flow is one logical transfer.
+type Flow struct {
+	// Src and Dst are node IDs; informational (paths define routing).
+	Src, Dst int
+	// Bytes is the payload size. Zero-byte flows complete at their
+	// startup latency.
+	Bytes units.Bytes
+	// Paths lists one or more link-ID paths. With several paths the
+	// bytes are split evenly (fluid packet-spraying). An empty path
+	// (nil or zero-length inner slice) is a loopback that completes at
+	// the startup latency.
+	Paths [][]int
+	// StartupLatency is added to the flow's completion time: path
+	// propagation plus endpoint software/NIC overheads.
+	StartupLatency units.Seconds
+	// StartTime lets staged collectives inject flows later than t=0.
+	StartTime units.Seconds
+	// RateCap, when positive, bounds the flow's aggregate rate
+	// regardless of link headroom — modelling per-QP / per-peer
+	// pipelining limits of RDMA endpoints. With multiple paths the cap
+	// is split evenly across subflows.
+	RateCap units.BytesPerSecond
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Makespan is the completion time of the last flow.
+	Makespan units.Seconds
+	// FlowFinish holds each flow's completion time, indexed like the
+	// input slice.
+	FlowFinish []units.Seconds
+	// MaxLinkBytes is the largest per-link byte total — useful for
+	// hotspot analysis in the routing experiments.
+	MaxLinkBytes units.Bytes
+}
+
+type subflow struct {
+	flow      int
+	path      []int
+	remaining units.Bytes
+	rate      float64
+	cap       float64 // per-subflow rate cap; 0 = uncapped
+}
+
+// Simulate runs the fluid simulation to completion and returns per-flow
+// finish times. It panics on malformed paths (link IDs out of range),
+// since those are programming errors in the collective layer.
+func Simulate(g *topology.Graph, flows []Flow) Result {
+	res := Result{FlowFinish: make([]units.Seconds, len(flows))}
+	linkBytes := make([]units.Bytes, len(g.Links))
+
+	// Explode flows into subflows.
+	var subs []subflow
+	flowRemaining := make([]int, len(flows)) // unfinished subflows per flow
+	flowNetDone := make([]units.Seconds, len(flows))
+	for fi, f := range flows {
+		paths := f.Paths
+		if len(paths) == 0 {
+			paths = [][]int{nil}
+		}
+		share := f.Bytes / float64(len(paths))
+		if f.StartTime > flowNetDone[fi] {
+			flowNetDone[fi] = f.StartTime
+		}
+		for _, p := range paths {
+			for _, lid := range p {
+				if lid < 0 || lid >= len(g.Links) {
+					panic(fmt.Sprintf("netsim: flow %d references invalid link %d", fi, lid))
+				}
+				linkBytes[lid] += share
+			}
+			if len(p) == 0 || share == 0 {
+				continue // loopback or zero bytes: done at StartTime
+			}
+			var subCap float64
+			if f.RateCap > 0 {
+				subCap = f.RateCap / float64(len(paths))
+			}
+			subs = append(subs, subflow{flow: fi, path: p, remaining: share, cap: subCap})
+			flowRemaining[fi]++
+		}
+	}
+	for _, b := range linkBytes {
+		if b > res.MaxLinkBytes {
+			res.MaxLinkBytes = b
+		}
+	}
+
+	// Group subflows by start time.
+	bySID := make([]int, len(subs))
+	for i := range bySID {
+		bySID[i] = i
+	}
+	sort.SliceStable(bySID, func(a, b int) bool {
+		return flows[subs[bySID[a]].flow].StartTime < flows[subs[bySID[b]].flow].StartTime
+	})
+
+	now := 0.0
+	nextStart := 0
+	var active []int
+	pf := newFiller(g)
+
+	for {
+		// Admit subflows whose start time has arrived.
+		for nextStart < len(bySID) {
+			si := bySID[nextStart]
+			if flows[subs[si].flow].StartTime > now+1e-15 {
+				break
+			}
+			active = append(active, si)
+			nextStart++
+		}
+		if len(active) == 0 {
+			if nextStart < len(bySID) {
+				now = flows[subs[bySID[nextStart]].flow].StartTime
+				continue
+			}
+			break
+		}
+
+		pf.assign(subs, active)
+
+		// Advance to the next event: earliest subflow completion or the
+		// next admission.
+		dt := math.Inf(1)
+		for _, si := range active {
+			s := &subs[si]
+			if s.rate > 0 {
+				if t := s.remaining / s.rate; t < dt {
+					dt = t
+				}
+			}
+		}
+		if nextStart < len(bySID) {
+			if t := flows[subs[bySID[nextStart]].flow].StartTime - now; t < dt {
+				dt = t
+			}
+		}
+		if math.IsInf(dt, 1) {
+			panic("netsim: deadlock — active subflows with zero rate")
+		}
+		if dt < 0 {
+			dt = 0
+		}
+
+		now += dt
+		// Drain and retire completed subflows.
+		stillActive := active[:0]
+		for _, si := range active {
+			s := &subs[si]
+			s.remaining -= s.rate * dt
+			if s.remaining <= 1e-9 {
+				fi := s.flow
+				flowRemaining[fi]--
+				if flowRemaining[fi] == 0 && now > flowNetDone[fi] {
+					flowNetDone[fi] = now
+				}
+			} else {
+				stillActive = append(stillActive, si)
+			}
+		}
+		active = stillActive
+	}
+
+	for fi, f := range flows {
+		res.FlowFinish[fi] = flowNetDone[fi] + f.StartupLatency
+		if res.FlowFinish[fi] > res.Makespan {
+			res.Makespan = res.FlowFinish[fi]
+		}
+	}
+	return res
+}
+
+// filler holds the scratch buffers of progressive filling so the event
+// loop does not reallocate per epoch. Rate-capped subflows are modelled
+// by a private virtual link (IDs beyond the real link range) with the
+// cap as its capacity.
+type filler struct {
+	g        *topology.Graph
+	residual []float64
+	count    []int
+	linkSubs [][]int
+	touched  []int
+	frozen   []bool
+	vlink    []int // subflow -> virtual link ID this epoch (-1 none)
+}
+
+func newFiller(g *topology.Graph) *filler {
+	return &filler{g: g}
+}
+
+func (pf *filler) grow(links, subCount int) {
+	total := links + subCount // worst case: every subflow capped
+	if len(pf.residual) < total {
+		pf.residual = make([]float64, total)
+		pf.count = make([]int, total)
+		pf.linkSubs = make([][]int, total)
+	}
+	if len(pf.frozen) < subCount {
+		pf.frozen = make([]bool, subCount)
+		pf.vlink = make([]int, subCount)
+	}
+}
+
+// assign computes the (unique) max-min fair allocation for the active
+// subflows. Ties are broken by lowest link ID for determinism.
+func (pf *filler) assign(subs []subflow, active []int) {
+	nLinks := len(pf.g.Links)
+	pf.grow(nLinks, len(subs))
+	pf.touched = pf.touched[:0]
+	nextVirtual := nLinks
+	for _, si := range active {
+		subs[si].rate = 0
+		pf.frozen[si] = false
+		pf.vlink[si] = -1
+		for _, lid := range subs[si].path {
+			if pf.count[lid] == 0 {
+				pf.residual[lid] = pf.g.Links[lid].Capacity
+				pf.linkSubs[lid] = pf.linkSubs[lid][:0]
+				pf.touched = append(pf.touched, lid)
+			}
+			pf.count[lid]++
+			pf.linkSubs[lid] = append(pf.linkSubs[lid], si)
+		}
+		if subs[si].cap > 0 {
+			vid := nextVirtual
+			nextVirtual++
+			pf.residual[vid] = subs[si].cap
+			pf.count[vid] = 1
+			pf.linkSubs[vid] = append(pf.linkSubs[vid][:0], si)
+			pf.touched = append(pf.touched, vid)
+			pf.vlink[si] = vid
+		}
+	}
+
+	undetermined := len(active)
+	for undetermined > 0 {
+		bestLink, bestShare := -1, math.Inf(1)
+		for _, lid := range pf.touched {
+			if pf.count[lid] <= 0 {
+				continue
+			}
+			share := pf.residual[lid] / float64(pf.count[lid])
+			if share < bestShare || (share == bestShare && lid < bestLink) {
+				bestShare, bestLink = share, lid
+			}
+		}
+		if bestLink < 0 {
+			panic("netsim: progressive filling found no bottleneck")
+		}
+		if bestShare < 0 {
+			bestShare = 0
+		}
+		for _, si := range pf.linkSubs[bestLink] {
+			if pf.frozen[si] {
+				continue
+			}
+			pf.frozen[si] = true
+			subs[si].rate = bestShare
+			undetermined--
+			for _, lid := range subs[si].path {
+				pf.residual[lid] -= bestShare
+				pf.count[lid]--
+			}
+			if v := pf.vlink[si]; v >= 0 {
+				pf.residual[v] -= bestShare
+				pf.count[v]--
+			}
+		}
+	}
+	// Reset counters for the next epoch.
+	for _, lid := range pf.touched {
+		pf.count[lid] = 0
+	}
+}

@@ -1,0 +1,149 @@
+package quant
+
+import "math"
+
+// Accumulator simulates the tensor-core accumulation data path described
+// in §3.1.1 of the paper. On Hopper, an FP8 WGMMA instruction multiplies
+// FP8 operands exactly, then:
+//
+//  1. groups of GroupSize (32) products are aligned by right-shifting to
+//     the maximum exponent in the group,
+//  2. only the highest AlignFracBits (13) fraction bits of each aligned
+//     product are kept; lower bits are truncated,
+//  3. the group sum is accumulated into a register with RegisterMantBits
+//     (13) mantissa bits — the "FP22" register (1 sign / 8 exp / 13 mant).
+//
+// Setting RegisterMantBits and AlignFracBits to 23 models a true FP32
+// tensor-core accumulator; the ablation in EXPERIMENTS.md sweeps these.
+type Accumulator struct {
+	// GroupSize is the number of products aligned and added as one unit.
+	GroupSize int
+	// AlignFracBits is the number of fraction bits kept, relative to the
+	// largest exponent in the group, when aligning addends (13 on Hopper).
+	AlignFracBits int
+	// RegisterMantBits is the mantissa width of the accumulation register
+	// (13 for Hopper's FP22 behaviour, 23 for FP32).
+	RegisterMantBits int
+	// RoundRegister selects round-to-nearest-even when folding into the
+	// register. Hopper truncates, so the default (false) truncates.
+	RoundRegister bool
+}
+
+// HopperFP8 is the accumulator configuration matching the paper's
+// description of H800 FP8 tensor cores.
+func HopperFP8() Accumulator {
+	return Accumulator{GroupSize: 32, AlignFracBits: 13, RegisterMantBits: 13}
+}
+
+// FP32Reference is an accumulator with FP32-register behaviour — the
+// "increased accumulation precision" hardware suggestion from §3.1.2.
+func FP32Reference() Accumulator {
+	return Accumulator{GroupSize: 32, AlignFracBits: 23, RegisterMantBits: 23}
+}
+
+// truncateToRegister rounds v to RegisterMantBits mantissa bits,
+// truncating toward zero unless RoundRegister is set.
+func (a Accumulator) truncateToRegister(v float64) float64 {
+	if v == 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return v
+	}
+	_, exp := math.Frexp(v)
+	normExp := exp - 1
+	quantum := math.Ldexp(1, normExp-a.RegisterMantBits)
+	if a.RoundRegister {
+		return math.RoundToEven(v/quantum) * quantum
+	}
+	return math.Trunc(v/quantum) * quantum
+}
+
+// alignedGroupSum adds one group of products with exponent alignment:
+// every addend is truncated to AlignFracBits fraction bits relative to
+// the group's maximum exponent.
+func (a Accumulator) alignedGroupSum(products []float64) float64 {
+	maxExp := math.MinInt32
+	for _, p := range products {
+		if p == 0 {
+			continue
+		}
+		_, exp := math.Frexp(math.Abs(p))
+		if exp-1 > maxExp {
+			maxExp = exp - 1
+		}
+	}
+	if maxExp == math.MinInt32 {
+		return 0
+	}
+	quantum := math.Ldexp(1, maxExp-a.AlignFracBits)
+	var sum float64
+	for _, p := range products {
+		sum += math.Trunc(p/quantum) * quantum
+	}
+	return sum
+}
+
+// DotProduct computes sum(x[i]*y[i]) through the simulated tensor-core
+// path. The operands are expected to already be representable in the
+// source format (e.g. FP8); products of two FP8 values are exact in
+// float64, matching the hardware's exact multiplier array.
+func (a Accumulator) DotProduct(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("quant: DotProduct length mismatch")
+	}
+	group := a.GroupSize
+	if group <= 0 {
+		group = 32
+	}
+	products := make([]float64, 0, group)
+	var acc float64
+	flush := func() {
+		if len(products) == 0 {
+			return
+		}
+		acc = a.truncateToRegister(acc + a.alignedGroupSum(products))
+		products = products[:0]
+	}
+	for i := range x {
+		products = append(products, x[i]*y[i])
+		if len(products) == group {
+			flush()
+		}
+	}
+	flush()
+	return acc
+}
+
+// PromotedDotProduct computes the same dot product using the two-level
+// accumulation strategy DeepGEMM uses on Hopper: the tensor-core (FP22)
+// accumulator runs for promoteEvery elements, then the partial result is
+// promoted into an FP32 accumulator and the register is cleared. With
+// promoteEvery = 128 this matches DeepSeek-V3's fine-grained recipe, and
+// neatly composes with the 1×128 tile scales: scale[i] multiplies each
+// promoted partial (dequantization on CUDA cores, §3.1.1's "large
+// dequantization overhead").
+//
+// scales must have one entry per promoteEvery-sized chunk (the last chunk
+// may be short); pass nil for unit scales.
+func (a Accumulator) PromotedDotProduct(x, y []float64, promoteEvery int, scales []float64) float64 {
+	if len(x) != len(y) {
+		panic("quant: PromotedDotProduct length mismatch")
+	}
+	if promoteEvery <= 0 {
+		promoteEvery = len(x)
+	}
+	var total float32 // the CUDA-core FP32 accumulator
+	chunk := 0
+	for start := 0; start < len(x); start += promoteEvery {
+		end := start + promoteEvery
+		if end > len(x) {
+			end = len(x)
+		}
+		partial := a.DotProduct(x[start:end], y[start:end])
+		scale := 1.0
+		if scales != nil {
+			scale = scales[chunk]
+		}
+		total += float32(partial * scale)
+		chunk++
+	}
+	return float64(total)
+}

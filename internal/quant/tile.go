@@ -1,0 +1,123 @@
+package quant
+
+import "math"
+
+// TileWidth is the activation quantization tile width used by
+// DeepSeek-V3: activations are scaled per 1×128 tile along the inner
+// (contraction) dimension, weights per 128×128 block (§3.1).
+const TileWidth = 128
+
+// ScaledTile is a quantized 1×TileWidth tile: the dequantized values
+// (scale already applied) plus the per-tile scale that was used. Keeping
+// the dequantized form makes error analysis direct; the scale is retained
+// because the GEMM path needs it to model dequantization placement.
+type ScaledTile struct {
+	Values []float64 // dequantized values, each Scale × (an FP8 value)
+	Scale  float64
+}
+
+// QuantizeTile quantizes one tile with a shared power-free scale chosen
+// so the tile maximum maps to the format's maximum finite value. This is
+// the "fine-grained quantization" of §3.1. A zero tile gets scale 1.
+func QuantizeTile(f Format, tile []float64) ScaledTile {
+	maxAbs := 0.0
+	for _, x := range tile {
+		maxAbs = math.Max(maxAbs, math.Abs(x))
+	}
+	scale := 1.0
+	if maxAbs > 0 {
+		scale = maxAbs / f.MaxFinite
+	}
+	out := ScaledTile{Values: make([]float64, len(tile)), Scale: scale}
+	for i, x := range tile {
+		out.Values[i] = f.Quantize(x/scale) * scale
+	}
+	return out
+}
+
+// QuantizeRowTiles quantizes a length-n row into ceil(n/TileWidth) tiles.
+// The final tile may be short. This mirrors the 1×128 activation layout.
+func QuantizeRowTiles(f Format, row []float64) []ScaledTile {
+	var tiles []ScaledTile
+	for start := 0; start < len(row); start += TileWidth {
+		end := start + TileWidth
+		if end > len(row) {
+			end = len(row)
+		}
+		tiles = append(tiles, QuantizeTile(f, row[start:end]))
+	}
+	return tiles
+}
+
+// QuantizePerTensor quantizes with a single scale for the whole tensor —
+// the coarse baseline the paper's fine-grained scheme improves on. Used
+// by the quantization-granularity ablation.
+func QuantizePerTensor(f Format, xs []float64) ScaledTile {
+	return QuantizeTile(f, xs)
+}
+
+// Matrix is a dense row-major float64 matrix. It is the carrier type for
+// the GEMM and quantization experiments.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r.
+func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// QuantizeBlockwise quantizes a matrix with per-block scales over
+// blockRows×blockCols blocks (128×128 for DeepSeek-V3 weights). The
+// returned matrix holds dequantized values; scales holds one scale per
+// block in block-row-major order.
+func QuantizeBlockwise(f Format, m *Matrix, blockRows, blockCols int) (*Matrix, []float64) {
+	out := NewMatrix(m.Rows, m.Cols)
+	var scales []float64
+	for br := 0; br < m.Rows; br += blockRows {
+		rEnd := br + blockRows
+		if rEnd > m.Rows {
+			rEnd = m.Rows
+		}
+		for bc := 0; bc < m.Cols; bc += blockCols {
+			cEnd := bc + blockCols
+			if cEnd > m.Cols {
+				cEnd = m.Cols
+			}
+			maxAbs := 0.0
+			for r := br; r < rEnd; r++ {
+				for c := bc; c < cEnd; c++ {
+					maxAbs = math.Max(maxAbs, math.Abs(m.At(r, c)))
+				}
+			}
+			scale := 1.0
+			if maxAbs > 0 {
+				scale = maxAbs / f.MaxFinite
+			}
+			scales = append(scales, scale)
+			for r := br; r < rEnd; r++ {
+				for c := bc; c < cEnd; c++ {
+					out.Set(r, c, f.Quantize(m.At(r, c)/scale)*scale)
+				}
+			}
+		}
+	}
+	return out, scales
+}

@@ -1,0 +1,214 @@
+// Package stats provides the small statistics toolkit shared by the
+// experiments: summaries, error metrics (relative error, RMS, SNR) and
+// histograms. The quantization studies in the paper (§3.1, §3.2) are
+// phrased in terms of relative accuracy loss and signal-to-noise ratios;
+// this package defines those measurements once so every experiment uses
+// the same definitions.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // population standard deviation
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary over xs. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// ErrMismatchedLengths is returned when two samples that must align do not.
+var ErrMismatchedLengths = errors.New("stats: mismatched sample lengths")
+
+// RMS returns the root mean square of xs.
+func RMS(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += x * x
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// RelativeError returns |got-want| / |want|. When want is zero it returns
+// |got| so that exact zeros compare as zero error.
+func RelativeError(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// MaxRelativeError returns the largest elementwise relative error between
+// got and want.
+func MaxRelativeError(got, want []float64) (float64, error) {
+	if len(got) != len(want) {
+		return 0, ErrMismatchedLengths
+	}
+	var m float64
+	for i := range got {
+		m = math.Max(m, RelativeError(got[i], want[i]))
+	}
+	return m, nil
+}
+
+// RMSRelativeError returns ||got-want||_2 / ||want||_2, the normwise
+// relative error used for GEMM accuracy comparisons.
+func RMSRelativeError(got, want []float64) (float64, error) {
+	if len(got) != len(want) {
+		return 0, ErrMismatchedLengths
+	}
+	var num, den float64
+	for i := range got {
+		d := got[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	if den == 0 {
+		return math.Sqrt(num), nil
+	}
+	return math.Sqrt(num / den), nil
+}
+
+// SNRdB returns the signal-to-noise ratio, in decibels, of a quantized
+// sample vs its reference: 10*log10(sum(x^2)/sum((x-q)^2)). Higher is
+// better; +inf when the reconstruction is exact.
+func SNRdB(reference, quantized []float64) (float64, error) {
+	if len(reference) != len(quantized) {
+		return 0, ErrMismatchedLengths
+	}
+	var sig, noise float64
+	for i := range reference {
+		sig += reference[i] * reference[i]
+		d := reference[i] - quantized[i]
+		noise += d * d
+	}
+	if noise == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(sig/noise), nil
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of strictly positive xs.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []int
+	Under   int // samples below Lo
+	Over    int // samples >= Hi
+	samples int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		return &Histogram{Lo: lo, Hi: hi}
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.samples++
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	if x >= h.Hi || len(h.Counts) == 0 {
+		h.Over++
+		return
+	}
+	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+}
+
+// Total returns the number of samples recorded, including out-of-range ones.
+func (h *Histogram) Total() int { return h.samples }

@@ -1,0 +1,77 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	tb := New("Table X", "Model", "Value")
+	tb.AddRow("DeepSeek-V3", 70.272)
+	tb.AddRow("Qwen-2.5 72B", 327.68)
+	out := tb.String()
+	if !strings.HasPrefix(out, "Table X\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "DeepSeek-V3") || !strings.Contains(out, "70.272") {
+		t.Errorf("missing cells: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("expected 5 lines, got %d: %q", len(lines), out)
+	}
+	// All data rows align: each column starts at the same offset.
+	if strings.Index(lines[3], "70.272") != strings.Index(lines[4], "327.68") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestFloatTrimming(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1.5, "1.5"},
+		{2, "2"},
+		{0.25, "0.25"},
+		{-0.5, "-0.5"},
+		{0, "0"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNoTitleNoHeaders(t *testing.T) {
+	tb := New("")
+	tb.AddRow("a", "b")
+	out := tb.String()
+	if strings.Contains(out, "-") {
+		t.Errorf("rule should not render without headers: %q", out)
+	}
+	if !strings.HasPrefix(out, "a") {
+		t.Errorf("unexpected prefix: %q", out)
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tb := New("", "A", "B")
+	tb.AddRow("x")
+	tb.AddRow("y", "z", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Errorf("wide rows must render all cells: %q", out)
+	}
+}
+
+func TestIntsAndStrings(t *testing.T) {
+	tb := New("", "n")
+	tb.AddRow(42)
+	tb.AddRow(float32(1.25))
+	out := tb.String()
+	if !strings.Contains(out, "42") || !strings.Contains(out, "1.25") {
+		t.Errorf("cell formatting wrong: %q", out)
+	}
+}

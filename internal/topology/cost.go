@@ -1,0 +1,145 @@
+package topology
+
+import "fmt"
+
+// Counts summarizes a topology for the Table 3 cost comparison:
+// endpoint count, switch count, and the number of inter-switch cables
+// (the "Links" row of Table 3 counts switch-to-switch cables only;
+// endpoint cables are folded into the per-endpoint cost).
+type Counts struct {
+	Name             string
+	Endpoints        int
+	Switches         int
+	InterSwitchLinks int
+}
+
+// FT2Counts returns the closed-form counts for a two-layer fat-tree of
+// switch radix k: k leaves (k/2 down, k/2 up) and k/2 spines.
+func FT2Counts(radix int) Counts {
+	k := radix
+	return Counts{
+		Name:             "FT2",
+		Endpoints:        k * k / 2,
+		Switches:         k + k/2,
+		InterSwitchLinks: k * k / 2,
+	}
+}
+
+// FT3Counts returns counts for a three-layer fat-tree of radix k:
+// k²/2 leaves, k²/2 spines, k²/4 cores, k³/4 endpoints.
+func FT3Counts(radix int) Counts {
+	k := radix
+	return Counts{
+		Name:             "FT3",
+		Endpoints:        k * k * k / 4,
+		Switches:         5 * k * k / 4,
+		InterSwitchLinks: k * k * k / 2,
+	}
+}
+
+// MPFTCounts returns counts for a multi-plane fat-tree: planes
+// independent FT2 fabrics. Each endpoint (GPU+NIC pair) belongs to one
+// plane, so capacities add across planes.
+func MPFTCounts(radix, planes int) Counts {
+	ft2 := FT2Counts(radix)
+	return Counts{
+		Name:             "MPFT",
+		Endpoints:        ft2.Endpoints * planes,
+		Switches:         ft2.Switches * planes,
+		InterSwitchLinks: ft2.InterSwitchLinks * planes,
+	}
+}
+
+// SlimFlyCounts returns counts for an MMS Slim Fly with parameter q
+// (q = 4w + δ, δ ∈ {-1, 0, 1}): 2q² switches of network degree
+// (3q-δ)/2, with ceil(degree/2) endpoints per switch (the balanced
+// p = k'/2 concentration from the Slim Fly paper).
+func SlimFlyCounts(q int) (Counts, error) {
+	delta, err := slimFlyDelta(q)
+	if err != nil {
+		return Counts{}, err
+	}
+	degree := (3*q - delta) / 2
+	perSwitch := (degree + 1) / 2
+	switches := 2 * q * q
+	return Counts{
+		Name:             "SF",
+		Endpoints:        switches * perSwitch,
+		Switches:         switches,
+		InterSwitchLinks: switches * degree / 2,
+	}, nil
+}
+
+func slimFlyDelta(q int) (int, error) {
+	switch q % 4 {
+	case 0:
+		return 0, nil
+	case 1:
+		return 1, nil
+	case 3:
+		return -1, nil
+	}
+	return 0, fmt.Errorf("topology: invalid Slim Fly q=%d (q mod 4 must be 0, 1 or 3)", q)
+}
+
+// DragonflyCounts returns counts for a canonical dragonfly with p
+// endpoints per router, a routers per group, h global links per router
+// and g groups: local links form a complete graph inside each group,
+// global links connect groups.
+func DragonflyCounts(p, a, h, g int) Counts {
+	return Counts{
+		Name:             "DF",
+		Endpoints:        p * a * g,
+		Switches:         a * g,
+		InterSwitchLinks: g*a*(a-1)/2 + a*h*g/2,
+	}
+}
+
+// CostModel prices a topology following the Slim Fly paper methodology:
+// a per-endpoint cost (NIC plus endpoint cable share), a per-switch cost
+// and a per-inter-switch-cable cost (optics dominate). The default
+// values are calibrated once so that all five Table 3 rows reproduce;
+// see DESIGN.md §4.
+type CostModel struct {
+	EndpointCost float64 // $ per endpoint (NIC + DAC share)
+	SwitchCost   float64 // $ per 64-port 400G switch
+	LinkCost     float64 // $ per inter-switch optical cable
+}
+
+// DefaultCostModel returns the calibrated Table 3 model.
+func DefaultCostModel() CostModel {
+	return CostModel{EndpointCost: 514, SwitchCost: 50000, LinkCost: 1536}
+}
+
+// Cost returns the total fabric cost in dollars.
+func (m CostModel) Cost(c Counts) float64 {
+	return float64(c.Endpoints)*m.EndpointCost +
+		float64(c.Switches)*m.SwitchCost +
+		float64(c.InterSwitchLinks)*m.LinkCost
+}
+
+// CostPerEndpoint returns dollars per endpoint.
+func (m CostModel) CostPerEndpoint(c Counts) float64 {
+	if c.Endpoints == 0 {
+		return 0
+	}
+	return m.Cost(c) / float64(c.Endpoints)
+}
+
+// Table3Topologies returns the five topologies of the paper's Table 3:
+// FT2 and MPFT with 64-port switches, FT3 with 64-port switches, Slim
+// Fly with q=28, and the canonical dragonfly with p=16, a=32, h=16,
+// g=511.
+func Table3Topologies() ([]Counts, error) {
+	sf, err := SlimFlyCounts(28)
+	if err != nil {
+		return nil, err
+	}
+	return []Counts{
+		FT2Counts(64),
+		MPFTCounts(64, 8),
+		FT3Counts(64),
+		sf,
+		DragonflyCounts(16, 32, 16, 511),
+	}, nil
+}
