@@ -51,10 +51,10 @@ func BenchmarkTable4TrainingMetrics(b *testing.B) {
 }
 
 func BenchmarkTable5Latency(b *testing.B) {
-	p := DefaultLatencyParams()
 	for i := 0; i < b.N; i++ {
-		_ = RenderTable5()
-		_ = p
+		if s := RenderTable5(); len(s) == 0 {
+			b.Fatal("empty render")
+		}
 	}
 }
 
@@ -64,6 +64,18 @@ func BenchmarkFigure5AllToAll(b *testing.B) {
 	sizes := []units.Bytes{512 * units.MiB, 8 * units.GiB}
 	for i := 0; i < b.N; i++ {
 		if _, err := Figure5([]int{32, 64}, sizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5Full regenerates the complete Figure 5 grid — the
+// heaviest collective sweep in the suite and the main beneficiary of
+// the worker pool + batched water-filling.
+func BenchmarkFigure5Full(b *testing.B) {
+	sizes := DefaultFigure5Sizes()
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure5([]int{32, 64, 128}, sizes); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -191,6 +203,7 @@ func BenchmarkFP8GEMM(b *testing.B) {
 		bb.Data[i] = rng.NormFloat64()
 	}
 	cfg := DeepSeekV3Recipe()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		FP8GEMM(a, bb, cfg)
@@ -212,7 +225,7 @@ func BenchmarkE4M3Quantize(b *testing.B) {
 }
 
 func BenchmarkFlowSimAllToAll32(b *testing.B) {
-	c, err := BuildCluster(H800Config(4, MPFT))
+	c, err := CachedCluster(H800Config(4, MPFT))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -225,13 +238,18 @@ func BenchmarkFlowSimAllToAll32(b *testing.B) {
 	}
 }
 
+// BenchmarkGateRoute measures the routing hot path the DeepEP traffic
+// generator runs per token: an allocation-free MoERouter with reusable
+// scratch (0 allocs/op).
 func BenchmarkGateRoute(b *testing.B) {
 	g := V3Gate()
+	router := NewMoERouter(g)
 	rng := rand.New(rand.NewSource(4))
 	scores := g.RandomScores(rng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if experts := g.Route(scores, nil); len(experts) != 8 {
+		if experts := router.Route(scores, nil); len(experts) != 8 {
 			b.Fatal("bad route")
 		}
 	}

@@ -1,9 +1,16 @@
 // Command dsv3bench regenerates every table and figure of the paper's
 // evaluation and prints them with the paper's reference values.
 //
+// Experiments run concurrently on the deterministic worker pool by
+// default; the rendered tables are byte-identical to a serial run
+// (-parallel=false) and always print in catalogue order on stdout. A
+// per-experiment wall-time report goes to stderr so stdout stays
+// comparable across modes.
+//
 // Usage:
 //
-//	dsv3bench                 # run everything
+//	dsv3bench                 # run everything, in parallel
+//	dsv3bench -parallel=false # serial execution (identical output)
 //	dsv3bench -run table3     # run one experiment
 //	dsv3bench -list           # list experiment names
 //	dsv3bench -quick          # smaller sweeps for a fast pass
@@ -14,8 +21,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dsv3"
+	"dsv3/internal/parallel"
 )
 
 type experiment struct {
@@ -89,7 +98,12 @@ func main() {
 	runName := flag.String("run", "", "run a single experiment by name")
 	list := flag.Bool("list", false, "list experiments")
 	quick := flag.Bool("quick", false, "smaller sweeps")
+	par := flag.Bool("parallel", true, "run experiments on the worker pool (output is byte-identical to serial)")
 	flag.Parse()
+
+	if !*par {
+		parallel.SetWorkers(1)
+	}
 
 	exps := catalogue()
 	if *list {
@@ -98,21 +112,43 @@ func main() {
 		}
 		return
 	}
-	ran := 0
+	var selected []experiment
 	for _, e := range exps {
-		if *runName != "" && !strings.EqualFold(e.name, *runName) {
-			continue
+		if *runName == "" || strings.EqualFold(e.name, *runName) {
+			selected = append(selected, e)
 		}
-		out, err := e.run(*quick)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
-			os.Exit(1)
-		}
-		fmt.Printf("=== %s — %s ===\n%s\n", e.name, e.desc, out)
-		ran++
 	}
-	if ran == 0 {
+	if len(selected) == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *runName)
 		os.Exit(1)
 	}
+
+	// Fan the experiment list out over the same pool the sweeps use
+	// internally; outputs return in catalogue order regardless of which
+	// experiment finishes first.
+	start := time.Now()
+	type outcome struct {
+		out     string
+		elapsed time.Duration
+	}
+	results, err := parallel.Map(len(selected), func(i int) (outcome, error) {
+		t0 := time.Now()
+		out, err := selected[i].run(*quick)
+		if err != nil {
+			return outcome{}, fmt.Errorf("%s: %w", selected[i].name, err)
+		}
+		return outcome{out: out, elapsed: time.Since(t0)}, nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i, e := range selected {
+		fmt.Printf("=== %s — %s ===\n%s\n", e.name, e.desc, results[i].out)
+	}
+	fmt.Fprintf(os.Stderr, "--- wall time (workers=%d) ---\n", parallel.Workers())
+	for i, e := range selected {
+		fmt.Fprintf(os.Stderr, "%-10s %8.1fms\n", e.name, float64(results[i].elapsed.Microseconds())/1e3)
+	}
+	fmt.Fprintf(os.Stderr, "%-10s %8.1fms\n", "total", float64(time.Since(start).Microseconds())/1e3)
 }

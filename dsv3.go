@@ -9,8 +9,10 @@
 // node-limited routing, DeepEP dispatch/combine, MLA decode analysis,
 // MTP speculative decoding, the DualPipe training-step model). Every
 // table and figure of the paper's evaluation can be regenerated through
-// the runners in this facade; see DESIGN.md for the experiment index
-// and EXPERIMENTS.md for paper-vs-measured results.
+// the runners in this facade. Sweep-shaped runners fan out over a
+// deterministic worker pool whose output is bit-identical to serial
+// execution; see DESIGN.md for the experiment index and the
+// concurrency/determinism model.
 //
 // Quick start:
 //
@@ -36,10 +38,21 @@ import (
 	"dsv3/internal/moe"
 	"dsv3/internal/mtp"
 	"dsv3/internal/netsim"
+	"dsv3/internal/parallel"
 	"dsv3/internal/pipeline"
 	"dsv3/internal/quant"
 	"dsv3/internal/topology"
 	"dsv3/internal/trainsim"
+)
+
+// Parallel execution engine. Every sweep-shaped runner fans out over a
+// bounded worker pool; per-task RNG streams derive from DeriveSeed, so
+// results are bit-identical for any worker count. SetParallelWorkers(1)
+// forces serial execution (the parity baseline).
+var (
+	SetParallelWorkers = parallel.SetWorkers
+	ParallelWorkers    = parallel.Workers
+	DeriveSeed         = parallel.DeriveSeed
 )
 
 // Model configurations (Table 1 / Table 2 subjects).
@@ -142,8 +155,12 @@ const (
 )
 
 var (
-	H800Config            = cluster.H800Config
-	BuildCluster          = cluster.Build
+	H800Config   = cluster.H800Config
+	BuildCluster = cluster.Build
+	// CachedCluster returns a shared immutable cluster, memoized by
+	// configuration — the builder the experiment suite uses so repeated
+	// sweeps share one graph.
+	CachedCluster         = cluster.Cached
 	AllToAll              = collective.AllToAll
 	RingCollective        = collective.RingCollective
 	DefaultCollectiveOpts = collective.DefaultOptions
@@ -154,12 +171,16 @@ var (
 type (
 	Gate            = moe.Gate
 	ExpertPlacement = moe.Placement
-	DeepEPConfig    = deepep.Config
-	DeepEPResult    = deepep.Result
+	// MoERouter is the allocation-free router used by the routing hot
+	// paths: reusable scratch lives in the Router value.
+	MoERouter    = moe.Router
+	DeepEPConfig = deepep.Config
+	DeepEPResult = deepep.Result
 )
 
 var (
 	V3Gate         = moe.V3Gate
+	NewMoERouter   = moe.NewRouter
 	DeepEPV3Config = deepep.V3Config
 	DeepEPDispatch = deepep.Dispatch
 	DeepEPCombine  = deepep.Combine

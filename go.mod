@@ -1,0 +1,3 @@
+module dsv3
+
+go 1.24

@@ -1,0 +1,31 @@
+package cluster
+
+import "sync"
+
+var (
+	cacheMu sync.Mutex
+	cache   map[Config]*Cluster
+)
+
+// Cached returns a process-wide shared cluster for cfg, building it on
+// first use. A built Cluster is immutable (every method only reads), so
+// one graph can back any number of concurrent experiments — repeated
+// Build(H800Config(...)) calls across the experiment suite were pure
+// waste. Callers must not mutate the returned value; use Build for a
+// private instance.
+func Cached(cfg Config) (*Cluster, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if c, ok := cache[cfg]; ok {
+		return c, nil
+	}
+	c, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cache == nil {
+		cache = make(map[Config]*Cluster)
+	}
+	cache[cfg] = c
+	return c, nil
+}

@@ -8,6 +8,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 
 	"dsv3/internal/topology"
 	"dsv3/internal/units"
@@ -115,6 +116,15 @@ type Cluster struct {
 	leafUp [][][]int
 	// spineDown[(spineNode,leafNode)] is the matching down link.
 	spineDown map[[2]int]int
+
+	// pathMu guards the lazily built path caches below. Path
+	// construction is pure, so caching keyed by the (src, dst) GPU
+	// coordinates makes repeated collective/EP traffic generation on a
+	// shared cluster allocation-free after warm-up. Cached slices are
+	// shared: callers must treat returned paths as immutable.
+	pathMu   sync.RWMutex
+	pxnCache map[[4]int][][]int
+	fwdCache map[[4]int][][]int
 }
 
 // Build constructs the cluster graph.
@@ -131,6 +141,8 @@ func Build(cfg Config) (*Cluster, error) {
 		planes:    planes,
 		leafCount: leafCount,
 		spineDown: make(map[[2]int]int),
+		pxnCache:  make(map[[4]int][][]int),
+		fwdCache:  make(map[[4]int][][]int),
 	}
 	g := c.G
 
@@ -256,40 +268,61 @@ func (c *Cluster) netSegment(a, b, plane, spine int) []int {
 	return path
 }
 
+// cachedPaths returns the memoized path set for key, building and
+// publishing it on first use. Safe for concurrent callers.
+func (c *Cluster) cachedPaths(cache map[[4]int][][]int, key [4]int, build func() [][]int) [][]int {
+	c.pathMu.RLock()
+	p, ok := cache[key]
+	c.pathMu.RUnlock()
+	if ok {
+		return p
+	}
+	p = build()
+	c.pathMu.Lock()
+	cache[key] = p
+	c.pathMu.Unlock()
+	return p
+}
+
 // PXNPaths returns the sender-side PXN paths from GPU (a,i) to GPU
 // (b,j): the message moves over NVLink to local GPU j (the one whose
 // NIC rail matches the destination), then through plane j. One path per
 // spine slot is returned for multipathing; same-leaf pairs have exactly
-// one path.
+// one path. The result is cached and must not be mutated.
 func (c *Cluster) PXNPaths(a, i, b, j int) [][]int {
-	if a == b {
-		return [][]int{c.NVLinkPath(a, i, j)}
-	}
-	var prefix []int
-	if i != j {
-		prefix = c.NVLinkPath(a, i, j)
-	}
-	plane := j
-	return c.fanOut(prefix, a, b, plane, func(seg []int) []int {
-		seg = append(seg, c.nicToGPU[b][plane])
-		return seg
+	return c.cachedPaths(c.pxnCache, [4]int{a, i, b, j}, func() [][]int {
+		if a == b {
+			return [][]int{c.NVLinkPath(a, i, j)}
+		}
+		var prefix []int
+		if i != j {
+			prefix = c.NVLinkPath(a, i, j)
+		}
+		plane := j
+		return c.fanOut(prefix, a, b, plane, func(seg []int) []int {
+			seg = append(seg, c.nicToGPU[b][plane])
+			return seg
+		})
 	})
 }
 
 // ForwardPaths returns the receiver-side forwarding paths used by
 // DeepEP-style EP dispatch: GPU (a,i) sends through its own plane i to
-// the peer GPU (b,i), which forwards over NVLink to GPU (b,j).
+// the peer GPU (b,i), which forwards over NVLink to GPU (b,j). The
+// result is cached and must not be mutated.
 func (c *Cluster) ForwardPaths(a, i, b, j int) [][]int {
-	if a == b {
-		return [][]int{c.NVLinkPath(a, i, j)}
-	}
-	plane := i
-	return c.fanOut(nil, a, b, plane, func(seg []int) []int {
-		seg = append(seg, c.nicToGPU[b][plane])
-		if i != j {
-			seg = append(seg, c.NVLinkPath(b, i, j)...)
+	return c.cachedPaths(c.fwdCache, [4]int{a, i, b, j}, func() [][]int {
+		if a == b {
+			return [][]int{c.NVLinkPath(a, i, j)}
 		}
-		return seg
+		plane := i
+		return c.fanOut(nil, a, b, plane, func(seg []int) []int {
+			seg = append(seg, c.nicToGPU[b][plane])
+			if i != j {
+				seg = append(seg, c.NVLinkPath(b, i, j)...)
+			}
+			return seg
+		})
 	})
 }
 

@@ -36,7 +36,8 @@ type Options struct {
 	FlowSeed uint64
 }
 
-// DefaultOptions matches the calibration in EXPERIMENTS.md.
+// DefaultOptions matches the calibration used by the Figure 5/6
+// experiments (see DESIGN.md).
 func DefaultOptions() Options {
 	return Options{
 		LaunchOverhead:       80 * units.Microsecond,

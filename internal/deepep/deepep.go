@@ -10,6 +10,13 @@
 // by the measured completion time. Because NVLink forwarding dedups the
 // wire traffic to remote nodes only, this figure can exceed the NIC
 // line rate — exactly as in the paper's Figure 7.
+//
+// Token routing is embarrassingly parallel across ranks, and this
+// package exploits that: each rank draws its gate scores from an RNG
+// stream derived from (seed, rank), so per-rank traffic matrices can be
+// generated on the worker pool and merged in rank order with bit-exact
+// results for any worker count (all counters are integers scaled by
+// integral payloads). See DESIGN.md for the determinism model.
 package deepep
 
 import (
@@ -19,6 +26,7 @@ import (
 	"dsv3/internal/cluster"
 	"dsv3/internal/moe"
 	"dsv3/internal/netsim"
+	"dsv3/internal/parallel"
 	"dsv3/internal/units"
 )
 
@@ -54,6 +62,17 @@ type Config struct {
 	SampleTokens int
 }
 
+// sampleTokens returns how many tokens per GPU are actually routed:
+// the full batch, or the SampleTokens subsample. Traffic is later
+// scaled back up by TokensPerGPU/sampleTokens in one place (bytes and
+// measure share this helper, so the scale cannot drift).
+func (cfg Config) sampleTokens() int {
+	if cfg.SampleTokens > 0 && cfg.SampleTokens < cfg.TokensPerGPU {
+		return cfg.SampleTokens
+	}
+	return cfg.TokensPerGPU
+}
+
 // V3Config returns the Figure 7 configuration.
 func V3Config() Config {
 	return Config{
@@ -83,19 +102,99 @@ type Result struct {
 	MeanRemoteNodes float64
 }
 
-// traffic is the aggregated flow matrix one kernel induces.
+// traffic is the aggregated flow matrix one kernel induces, held in
+// flat dense arrays: indices are deterministic (no map iteration), and
+// counters are integers until the final byte scaling, so merging
+// per-rank contributions is exact in any association.
 type traffic struct {
-	ib      map[[2]int]units.Bytes // (srcRank, dstNode) -> bytes
-	forward map[[3]int]units.Bytes // (node, fromGPU, toGPU) -> bytes (receiver side)
-	local   map[[3]int]units.Bytes // (node, fromGPU, toGPU) -> bytes (source side)
-	counted units.Bytes            // DeepEP byte credit, all ranks
-	nodes   float64                // sum of M over tokens
-	remote  float64                // sum of remote nodes over tokens
-	tokens  int
+	nodes, gpus int
+	// ibCount[rank*nodes+node] counts deduplicated IB token copies from
+	// a rank to a remote node.
+	ibCount []int
+	// fwdCount[(node*gpus+from)*gpus+to] counts receiver-side NVLink
+	// forwards on a node from the plane-peer GPU to an expert GPU.
+	fwdCount []int
+	// localCount uses the same indexing for source-side NVLink
+	// multicasts on the sender's own node.
+	localCount []int
+	// countedTokens is the DeepEP byte-credit token count (sum of M).
+	countedTokens int
+	remote        int // sum of remote-node copies over tokens
+	tokens        int
 }
 
-// route builds the traffic matrix by routing every token of every rank.
-func route(c *cluster.Cluster, cfg Config, payload units.Bytes, rng *rand.Rand) (*traffic, error) {
+func newTraffic(c *cluster.Cluster) *traffic {
+	nodes, gpus := c.Cfg.Nodes, c.Cfg.GPUsPerNode
+	return &traffic{
+		nodes:      nodes,
+		gpus:       gpus,
+		ibCount:    make([]int, c.NumRanks()*nodes),
+		fwdCount:   make([]int, nodes*gpus*gpus),
+		localCount: make([]int, nodes*gpus*gpus),
+	}
+}
+
+// merge adds b into tr. Integer counters make the result independent
+// of merge grouping.
+func (tr *traffic) merge(b *traffic) {
+	for i, v := range b.ibCount {
+		tr.ibCount[i] += v
+	}
+	for i, v := range b.fwdCount {
+		tr.fwdCount[i] += v
+	}
+	for i, v := range b.localCount {
+		tr.localCount[i] += v
+	}
+	tr.countedTokens += b.countedTokens
+	tr.remote += b.remote
+	tr.tokens += b.tokens
+}
+
+// routeRank routes one rank's token sample into a fresh traffic using
+// the rank-derived RNG stream.
+func routeRank(c *cluster.Cluster, cfg Config, place moe.Placement, rank, sample int, seed int64) *traffic {
+	tr := newTraffic(c)
+	rng := rand.New(rand.NewSource(parallel.DeriveSeed(seed, rank)))
+	router := moe.NewRouter(cfg.Gate)
+	disp := moe.NewDispatcher(place)
+	scores := make([]float64, cfg.Gate.Experts)
+	srcNode, srcGPU := c.RankOf(rank)
+	for t := 0; t < sample; t++ {
+		cfg.Gate.RandomScoresInto(scores, rng)
+		disp.Dispatch(router.Route(scores, nil))
+		targets := disp.Nodes()
+		tr.tokens++
+		tr.countedTokens += len(targets)
+		for _, node := range targets {
+			base := node * tr.gpus
+			if node == srcNode {
+				// Source-side NVLink multicast to local experts.
+				for gpu := 0; gpu < tr.gpus; gpu++ {
+					if gpu != srcGPU && disp.HasGPU(node, gpu) {
+						tr.localCount[(base+srcGPU)*tr.gpus+gpu]++
+					}
+				}
+				continue
+			}
+			tr.remote++
+			// One deduplicated IB copy to the peer GPU in the same
+			// plane, then receiver-side NVLink forwarding.
+			tr.ibCount[rank*tr.nodes+node]++
+			for gpu := 0; gpu < tr.gpus; gpu++ {
+				if gpu != srcGPU && disp.HasGPU(node, gpu) {
+					tr.fwdCount[(base+srcGPU)*tr.gpus+gpu]++
+				}
+			}
+		}
+	}
+	return tr
+}
+
+// route builds the traffic matrix by routing every rank's token sample,
+// fanning the ranks out over the parallel worker pool. Per-rank seed
+// derivation makes the result identical for any worker count.
+func route(c *cluster.Cluster, cfg Config, seed int64) (*traffic, error) {
 	if err := cfg.Gate.Validate(); err != nil {
 		return nil, err
 	}
@@ -103,127 +202,87 @@ func route(c *cluster.Cluster, cfg Config, payload units.Bytes, rng *rand.Rand) 
 	if err := place.Validate(); err != nil {
 		return nil, err
 	}
-	tr := &traffic{
-		ib:      make(map[[2]int]units.Bytes),
-		forward: make(map[[3]int]units.Bytes),
-		local:   make(map[[3]int]units.Bytes),
+	sample := cfg.sampleTokens()
+	parts, err := parallel.Map(c.NumRanks(), func(rank int) (*traffic, error) {
+		return routeRank(c, cfg, place, rank, sample, seed), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sample := cfg.TokensPerGPU
-	if cfg.SampleTokens > 0 && cfg.SampleTokens < sample {
-		sample = cfg.SampleTokens
-	}
-	scale := float64(cfg.TokensPerGPU) / float64(sample)
-	for rank := 0; rank < c.NumRanks(); rank++ {
-		srcNode, srcGPU := c.RankOf(rank)
-		for t := 0; t < sample; t++ {
-			experts := cfg.Gate.Route(cfg.Gate.RandomScores(rng), nil)
-			td := place.Dispatch(experts)
-			tr.tokens++
-			tr.nodes += float64(len(td.Nodes))
-			tr.counted += float64(len(td.Nodes)) * payload
-			for _, node := range td.Nodes {
-				if node == srcNode {
-					// Source-side NVLink multicast to local experts.
-					for _, gpu := range td.GPUsByNode[node] {
-						if gpu != srcGPU {
-							tr.local[[3]int{node, srcGPU, gpu}] += payload
-						}
-					}
-					continue
-				}
-				tr.remote++
-				// One deduplicated IB copy to the peer GPU in the same
-				// plane, then receiver-side NVLink forwarding.
-				tr.ib[[2]int{rank, node}] += payload
-				for _, gpu := range td.GPUsByNode[node] {
-					if gpu != srcGPU {
-						tr.forward[[3]int{node, srcGPU, gpu}] += payload
-					}
-				}
-			}
-		}
-	}
-	if scale != 1 {
-		for k := range tr.ib {
-			tr.ib[k] *= scale
-		}
-		for k := range tr.forward {
-			tr.forward[k] *= scale
-		}
-		for k := range tr.local {
-			tr.local[k] *= scale
-		}
-		tr.counted *= scale
+	tr := newTraffic(c)
+	for _, part := range parts {
+		tr.merge(part)
 	}
 	return tr, nil
 }
 
-// flatten replaces each category's flow sizes with the category mean.
-func (tr *traffic) flatten() {
-	mean := func(m map[[2]int]units.Bytes) {
-		var sum units.Bytes
-		for _, b := range m {
-			sum += b
+// byteMatrix scales the integer traffic counts into per-flow byte
+// sizes: bytes = count × payload × (TokensPerGPU / sample). When
+// flatten is set, each category's sizes collapse to the category mean
+// over its non-zero entries.
+type byteMatrix struct {
+	ib, fwd, local []units.Bytes
+}
+
+func (tr *traffic) bytes(cfg Config, payload units.Bytes, flatten bool) byteMatrix {
+	scale := payload * float64(cfg.TokensPerGPU) / float64(cfg.sampleTokens())
+	conv := func(counts []int) []units.Bytes {
+		out := make([]units.Bytes, len(counts))
+		if flatten {
+			sum, n := 0, 0
+			for _, c := range counts {
+				if c > 0 {
+					sum += c
+					n++
+				}
+			}
+			if n == 0 {
+				return out
+			}
+			mean := float64(sum) / float64(n) * scale
+			for i, c := range counts {
+				if c > 0 {
+					out[i] = mean
+				}
+			}
+			return out
 		}
-		avg := sum / float64(len(m))
-		for k := range m {
-			m[k] = avg
+		for i, c := range counts {
+			if c > 0 {
+				out[i] = float64(c) * scale
+			}
 		}
+		return out
 	}
-	mean3 := func(m map[[3]int]units.Bytes) {
-		var sum units.Bytes
-		for _, b := range m {
-			sum += b
-		}
-		avg := sum / float64(len(m))
-		for k := range m {
-			m[k] = avg
-		}
-	}
-	if len(tr.ib) > 0 {
-		mean(tr.ib)
-	}
-	if len(tr.forward) > 0 {
-		mean3(tr.forward)
-	}
-	if len(tr.local) > 0 {
-		mean3(tr.local)
-	}
+	return byteMatrix{ib: conv(tr.ibCount), fwd: conv(tr.fwdCount), local: conv(tr.localCount)}
 }
 
 // Dispatch simulates the EP dispatch kernel across the whole cluster.
 func Dispatch(c *cluster.Cluster, cfg Config, seed int64) (Result, error) {
-	rng := rand.New(rand.NewSource(seed))
-	tr, err := route(c, cfg, cfg.DispatchBytes, rng)
+	tr, err := route(c, cfg, seed)
 	if err != nil {
 		return Result{}, err
 	}
-	if cfg.DeterministicTraffic {
-		tr.flatten()
-	}
-	flows := tr.flows(c, cfg, false)
-	return tr.measure(c, cfg, flows), nil
+	bm := tr.bytes(cfg, cfg.DispatchBytes, cfg.DeterministicTraffic)
+	return tr.measure(c, cfg, cfg.DispatchBytes, bm, tr.flows(c, cfg, bm, false)), nil
 }
 
 // Combine simulates the EP combine kernel: the exact mirror of
 // dispatch (NVLink gather at the expert node, deduplicated IB return,
 // BF16 payload).
 func Combine(c *cluster.Cluster, cfg Config, seed int64) (Result, error) {
-	rng := rand.New(rand.NewSource(seed))
-	tr, err := route(c, cfg, cfg.CombineBytes, rng)
+	tr, err := route(c, cfg, seed)
 	if err != nil {
 		return Result{}, err
 	}
-	if cfg.DeterministicTraffic {
-		tr.flatten()
-	}
-	flows := tr.flows(c, cfg, true)
-	return tr.measure(c, cfg, flows), nil
+	bm := tr.bytes(cfg, cfg.CombineBytes, cfg.DeterministicTraffic)
+	return tr.measure(c, cfg, cfg.CombineBytes, bm, tr.flows(c, cfg, bm, true)), nil
 }
 
-// flows materializes the traffic matrix. reverse=false is dispatch
-// (token owner -> experts); reverse=true is combine (experts -> owner).
-func (tr *traffic) flows(c *cluster.Cluster, cfg Config, reverse bool) []netsim.Flow {
+// flows materializes the byte matrix in deterministic index order.
+// reverse=false is dispatch (token owner -> experts); reverse=true is
+// combine (experts -> owner).
+func (tr *traffic) flows(c *cluster.Cluster, cfg Config, bm byteMatrix, reverse bool) []netsim.Flow {
 	var flows []netsim.Flow
 	lat := cluster.DefaultLatencyParams()
 	add := func(src, dst int, paths [][]int, bytes units.Bytes, rateCap units.BytesPerSecond) {
@@ -233,20 +292,30 @@ func (tr *traffic) flows(c *cluster.Cluster, cfg Config, reverse bool) []netsim.
 			RateCap:        rateCap,
 		})
 	}
-	for key, bytes := range tr.ib {
-		rank, node := key[0], key[1]
+	for rank := 0; rank < c.NumRanks(); rank++ {
 		srcNode, srcGPU := c.RankOf(rank)
-		if reverse {
-			paths := c.ForwardPaths(node, srcGPU, srcNode, srcGPU)
-			add(c.GPUID(node, srcGPU), c.GPUID(srcNode, srcGPU), paths, bytes, cfg.PerPeerRateCap)
-		} else {
-			paths := c.ForwardPaths(srcNode, srcGPU, node, srcGPU)
-			add(c.GPUID(srcNode, srcGPU), c.GPUID(node, srcGPU), paths, bytes, cfg.PerPeerRateCap)
+		for node := 0; node < tr.nodes; node++ {
+			bytes := bm.ib[rank*tr.nodes+node]
+			if bytes == 0 {
+				continue
+			}
+			if reverse {
+				paths := c.ForwardPaths(node, srcGPU, srcNode, srcGPU)
+				add(c.GPUID(node, srcGPU), c.GPUID(srcNode, srcGPU), paths, bytes, cfg.PerPeerRateCap)
+			} else {
+				paths := c.ForwardPaths(srcNode, srcGPU, node, srcGPU)
+				add(c.GPUID(srcNode, srcGPU), c.GPUID(node, srcGPU), paths, bytes, cfg.PerPeerRateCap)
+			}
 		}
 	}
-	nvlink := func(m map[[3]int]units.Bytes) {
-		for key, bytes := range m {
-			node, from, to := key[0], key[1], key[2]
+	nvlink := func(sizes []units.Bytes) {
+		for idx, bytes := range sizes {
+			if bytes == 0 {
+				continue
+			}
+			node := idx / (tr.gpus * tr.gpus)
+			from := idx / tr.gpus % tr.gpus
+			to := idx % tr.gpus
 			if reverse {
 				from, to = to, from
 			}
@@ -254,32 +323,33 @@ func (tr *traffic) flows(c *cluster.Cluster, cfg Config, reverse bool) []netsim.
 			add(c.GPUID(node, from), c.GPUID(node, to), paths, bytes, 0)
 		}
 	}
-	nvlink(tr.forward)
-	nvlink(tr.local)
+	nvlink(bm.fwd)
+	nvlink(bm.local)
 	return flows
 }
 
-func (tr *traffic) measure(c *cluster.Cluster, cfg Config, flows []netsim.Flow) Result {
+func (tr *traffic) measure(c *cluster.Cluster, cfg Config, payload units.Bytes, bm byteMatrix, flows []netsim.Flow) Result {
 	res := netsim.Simulate(c.G, flows)
 	ranks := float64(c.NumRanks())
 	var wire, nv units.Bytes
-	for _, b := range tr.ib {
+	for _, b := range bm.ib {
 		wire += b
 	}
-	for _, b := range tr.forward {
+	for _, b := range bm.fwd {
 		nv += b
 	}
-	for _, b := range tr.local {
+	for _, b := range bm.local {
 		nv += b
 	}
+	counted := float64(tr.countedTokens) * payload * float64(cfg.TokensPerGPU) / float64(cfg.sampleTokens())
 	t := res.Makespan + cfg.LaunchOverhead
 	out := Result{
 		Time:               t,
-		CountedBytesPerGPU: tr.counted / ranks,
+		CountedBytesPerGPU: counted / ranks,
 		WireBytesPerGPU:    wire / ranks,
 		NVLinkBytesPerGPU:  nv / ranks,
-		MeanNodes:          tr.nodes / float64(tr.tokens),
-		MeanRemoteNodes:    tr.remote / float64(tr.tokens),
+		MeanNodes:          float64(tr.countedTokens) / float64(tr.tokens),
+		MeanRemoteNodes:    float64(tr.remote) / float64(tr.tokens),
 	}
 	out.Bandwidth = out.CountedBytesPerGPU / t
 	return out
@@ -293,26 +363,27 @@ type EPSweepPoint struct {
 }
 
 // Sweep runs dispatch and combine at each EP size (GPU count; must be a
-// multiple of 8). Clusters are built fresh per point on the MPFT fabric.
+// multiple of 8) on the shared MPFT fabric, fanning the EP points out
+// over the parallel worker pool (each point's rank routing fans out a
+// second level below it).
 func Sweep(cfg Config, epSizes []int, seed int64) ([]EPSweepPoint, error) {
-	var out []EPSweepPoint
-	for _, ranks := range epSizes {
+	return parallel.Map(len(epSizes), func(pi int) (EPSweepPoint, error) {
+		ranks := epSizes[pi]
 		if ranks%cluster.GPUsPerNode != 0 {
-			return nil, fmt.Errorf("deepep: EP size %d not a multiple of %d", ranks, cluster.GPUsPerNode)
+			return EPSweepPoint{}, fmt.Errorf("deepep: EP size %d not a multiple of %d", ranks, cluster.GPUsPerNode)
 		}
-		c, err := cluster.Build(cluster.H800Config(ranks/cluster.GPUsPerNode, cluster.MPFT))
+		c, err := cluster.Cached(cluster.H800Config(ranks/cluster.GPUsPerNode, cluster.MPFT))
 		if err != nil {
-			return nil, err
+			return EPSweepPoint{}, err
 		}
 		d, err := Dispatch(c, cfg, seed)
 		if err != nil {
-			return nil, err
+			return EPSweepPoint{}, err
 		}
 		cb, err := Combine(c, cfg, seed+1)
 		if err != nil {
-			return nil, err
+			return EPSweepPoint{}, err
 		}
-		out = append(out, EPSweepPoint{Ranks: ranks, Dispatch: d, Combine: cb})
-	}
-	return out, nil
+		return EPSweepPoint{Ranks: ranks, Dispatch: d, Combine: cb}, nil
+	})
 }

@@ -11,6 +11,7 @@ import (
 	"dsv3/internal/logfmt"
 	"dsv3/internal/moe"
 	"dsv3/internal/mtp"
+	"dsv3/internal/parallel"
 	"dsv3/internal/quant"
 	"dsv3/internal/stats"
 	"dsv3/internal/tablefmt"
@@ -45,12 +46,13 @@ func PaperTable4MPFT() Table4Paper {
 // bandwidth — which is exactly the paper's conclusion (differences
 // within measurement noise).
 func Table4() (mpft, mrft trainsim.Metrics, err error) {
-	mpft, err = trainsim.V3Config().Run()
+	cols, err := parallel.Map(2, func(int) (trainsim.Metrics, error) {
+		return trainsim.V3Config().Run()
+	})
 	if err != nil {
 		return
 	}
-	mrft, err = trainsim.V3Config().Run()
-	return
+	return cols[0], cols[1], nil
 }
 
 // RenderTable4 renders the training metric comparison.
@@ -238,16 +240,14 @@ func AccumulationAblation(seed int64) ([]AccumulationRow, error) {
 		{"FP25-style register (16 frac bits), no promotion", gemm.FP8Config{Format: quant.E4M3, Acc: quant.Accumulator{GroupSize: 32, AlignFracBits: 16, RegisterMantBits: 16}, PerTensorScales: true}},
 		{"FP32 register (suggested hardware), no promotion", gemm.FP8Config{Format: quant.E4M3, Acc: quant.FP32Reference(), PerTensorScales: true}},
 	}
-	var rows []AccumulationRow
-	for _, c := range configs {
-		got := gemm.FP8(a, b, c.cfg)
+	return parallel.Map(len(configs), func(ci int) (AccumulationRow, error) {
+		got := gemm.FP8(a, b, configs[ci].cfg)
 		rel, err := stats.RMSRelativeError(got.Data, ref.Data)
 		if err != nil {
-			return nil, err
+			return AccumulationRow{}, err
 		}
-		rows = append(rows, AccumulationRow{Name: c.name, RelError: rel})
-	}
-	return rows, nil
+		return AccumulationRow{Name: configs[ci].name, RelError: rel}, nil
+	})
 }
 
 // RenderAccumulationAblation renders §3.1.1.
@@ -307,15 +307,15 @@ func LogFMTAccuracy(seed int64) ([]LogFMTRow, error) {
 			return out
 		}},
 	}
-	var out []LogFMTRow
-	for _, r := range rows {
-		snr, err := meanSNR(r.fn)
+	// The tile set is drawn once (serially) above; the per-format
+	// Monte-Carlo sweeps over it are independent and fan out.
+	return parallel.Map(len(rows), func(ri int) (LogFMTRow, error) {
+		snr, err := meanSNR(rows[ri].fn)
 		if err != nil {
-			return nil, err
+			return LogFMTRow{}, err
 		}
-		out = append(out, LogFMTRow{Format: r.name, SNRdB: snr})
-	}
-	return out, nil
+		return LogFMTRow{Format: rows[ri].name, SNRdB: snr}, nil
+	})
 }
 
 // RenderLogFMT renders §3.2.
@@ -354,17 +354,17 @@ func NodeLimitedRouting(seed int64) ([]NodeLimitedRow, error) {
 		{"node-limited (4 groups)", moe.V3Gate()},
 		{"unrestricted top-8", func() moe.Gate { g := moe.V3Gate(); g.GroupTopK = 0; return g }()},
 	}
-	var rows []NodeLimitedRow
-	for i, gc := range gates {
-		st := moe.CollectStats(gc.g, place, 4000, 0, nil, rand.New(rand.NewSource(seed+int64(i))))
-		rows = append(rows, NodeLimitedRow{
-			Gate:            gc.name,
+	// Each gate's 4000 Monte-Carlo trials chunk out over the worker
+	// pool inside CollectStatsSeeded; the two gates fan out above them.
+	return parallel.Map(len(gates), func(i int) (NodeLimitedRow, error) {
+		st := moe.CollectStatsSeeded(gates[i].g, place, 4000, 0, nil, seed+int64(i))
+		return NodeLimitedRow{
+			Gate:            gates[i].name,
 			MeanNodes:       st.MeanNodes,
 			MeanRemoteNodes: st.MeanRemoteNodes,
 			MaxNodes:        st.MaxNodes,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderNodeLimited renders §4.3.

@@ -3,7 +3,9 @@
 // §2.3.3, §2.4, §3.2, §4.3) and the extension ablations listed in
 // DESIGN.md. Each runner returns structured rows AND a rendered table
 // with the paper's reference values beside the measured ones, so the
-// CLI, the tests and EXPERIMENTS.md all share one source of truth.
+// CLI and the tests share one source of truth. Sweep-shaped runners
+// fan out over internal/parallel with bit-identical serial/parallel
+// output (see the parity tests).
 package experiments
 
 import (

@@ -7,6 +7,7 @@ import (
 	"dsv3/internal/collective"
 	"dsv3/internal/deepep"
 	"dsv3/internal/netsim"
+	"dsv3/internal/parallel"
 	"dsv3/internal/tablefmt"
 	"dsv3/internal/topology"
 	"dsv3/internal/units"
@@ -21,32 +22,33 @@ type Figure5Point struct {
 }
 
 // Figure5 sweeps all-to-all algorithm bandwidth over GPU counts and
-// message sizes on both fabrics.
+// message sizes on both fabrics. Every (gpus, size) cell is independent
+// and runs on the parallel worker pool against the shared memoized
+// clusters; results come back in grid order, identical to the serial
+// sweep.
 func Figure5(gpuCounts []int, sizes []units.Bytes) ([]Figure5Point, error) {
-	var out []Figure5Point
 	opts := collective.DefaultOptions()
-	for _, gpus := range gpuCounts {
-		mp, err := cluster.Build(cluster.H800Config(gpus/cluster.GPUsPerNode, cluster.MPFT))
+	return parallel.Map(len(gpuCounts)*len(sizes), func(idx int) (Figure5Point, error) {
+		gpus := gpuCounts[idx/len(sizes)]
+		size := sizes[idx%len(sizes)]
+		mp, err := cluster.Cached(cluster.H800Config(gpus/cluster.GPUsPerNode, cluster.MPFT))
 		if err != nil {
-			return nil, err
+			return Figure5Point{}, err
 		}
-		mr, err := cluster.Build(cluster.H800Config(gpus/cluster.GPUsPerNode, cluster.MRFT))
+		mr, err := cluster.Cached(cluster.H800Config(gpus/cluster.GPUsPerNode, cluster.MRFT))
 		if err != nil {
-			return nil, err
+			return Figure5Point{}, err
 		}
-		for _, size := range sizes {
-			a, err := collective.AllToAll(mp, gpus, size, opts)
-			if err != nil {
-				return nil, err
-			}
-			b, err := collective.AllToAll(mr, gpus, size, opts)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Figure5Point{GPUs: gpus, Size: size, MPFTAlgBW: a.AlgBW, MRFTAlgBW: b.AlgBW})
+		a, err := collective.AllToAll(mp, gpus, size, opts)
+		if err != nil {
+			return Figure5Point{}, err
 		}
-	}
-	return out, nil
+		b, err := collective.AllToAll(mr, gpus, size, opts)
+		if err != nil {
+			return Figure5Point{}, err
+		}
+		return Figure5Point{GPUs: gpus, Size: size, MPFTAlgBW: a.AlgBW, MRFTAlgBW: b.AlgBW}, nil
+	})
 }
 
 // DefaultFigure5Sizes returns a representative subset of the paper's
@@ -80,35 +82,35 @@ type Figure6Point struct {
 	DiffPercent float64
 }
 
-// Figure6 compares all-to-all latency across message sizes on 16 GPUs.
+// Figure6 compares all-to-all latency across message sizes on 16 GPUs,
+// one worker task per message size.
 func Figure6(sizes []units.Bytes) ([]Figure6Point, error) {
-	mp, err := cluster.Build(cluster.H800Config(2, cluster.MPFT))
+	mp, err := cluster.Cached(cluster.H800Config(2, cluster.MPFT))
 	if err != nil {
 		return nil, err
 	}
-	mr, err := cluster.Build(cluster.H800Config(2, cluster.MRFT))
+	mr, err := cluster.Cached(cluster.H800Config(2, cluster.MRFT))
 	if err != nil {
 		return nil, err
 	}
 	opts := collective.DefaultOptions()
-	var out []Figure6Point
-	for _, size := range sizes {
+	return parallel.Map(len(sizes), func(si int) (Figure6Point, error) {
+		size := sizes[si]
 		a, err := collective.AllToAll(mp, 16, size, opts)
 		if err != nil {
-			return nil, err
+			return Figure6Point{}, err
 		}
 		b, err := collective.AllToAll(mr, 16, size, opts)
 		if err != nil {
-			return nil, err
+			return Figure6Point{}, err
 		}
-		out = append(out, Figure6Point{
+		return Figure6Point{
 			Size:        size,
 			MPFTLatency: a.Time,
 			MRFTLatency: b.Time,
 			DiffPercent: (a.Time - b.Time) / b.Time * 100,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // DefaultFigure6Sizes spans the paper's 64 B - 16 GiB log axis.
@@ -168,31 +170,34 @@ type Figure8Point struct {
 // under ECMP, adaptive routing, and static routing on a RoCE leaf-spine
 // fabric with concurrent groups (the mechanism behind §5.2.2).
 func Figure8() ([]Figure8Point, error) {
-	ft := topology.FatTree2{
-		Leaves: 4, Spines: 4, EndpointsPerLeaf: 8,
-		Params: topology.FabricParams{
-			EndpointLinkCap: 22 * units.GB, // 200GbE effective
-			SwitchLinkCap:   22 * units.GB,
-			EndpointLinkLat: 1.2 * units.Microsecond,
-			SwitchHopLat:    1.0 * units.Microsecond,
-		},
-	}
-	router := netsim.NewRouter(ft.Build())
-	eps := router.Graph().Endpoints()
 	opts := collective.DefaultOptions()
 	opts.PerFlowOverheadBytes = 0
-	var out []Figure8Point
-	for _, tp := range []int{8, 4, 2} {
-		groups := spreadGroups(eps, tp)
-		for _, pol := range []netsim.Policy{netsim.PolicyECMP, netsim.PolicyAdaptive, netsim.PolicyStatic} {
-			res, err := collective.RingCollective(router, groups, units.Bytes(256*units.MiB), pol, opts)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Figure8Point{TP: tp, Policy: pol, BusBW: res.MeanBusBW})
+	tps := []int{8, 4, 2}
+	policies := []netsim.Policy{netsim.PolicyECMP, netsim.PolicyAdaptive, netsim.PolicyStatic}
+	// One worker task per (TP, policy) bar. Each task builds its own
+	// RoCE fabric and router: the netsim Router caches shortest paths
+	// mutably, so sharing one across tasks would race.
+	points, err := parallel.Map(len(tps)*len(policies), func(idx int) (Figure8Point, error) {
+		tp := tps[idx/len(policies)]
+		pol := policies[idx%len(policies)]
+		ft := topology.FatTree2{
+			Leaves: 4, Spines: 4, EndpointsPerLeaf: 8,
+			Params: topology.FabricParams{
+				EndpointLinkCap: 22 * units.GB, // 200GbE effective
+				SwitchLinkCap:   22 * units.GB,
+				EndpointLinkLat: 1.2 * units.Microsecond,
+				SwitchHopLat:    1.0 * units.Microsecond,
+			},
 		}
-	}
-	return out, nil
+		router := netsim.NewRouter(ft.Build())
+		groups := spreadGroups(router.Graph().Endpoints(), tp)
+		res, err := collective.RingCollective(router, groups, units.Bytes(256*units.MiB), pol, opts)
+		if err != nil {
+			return Figure8Point{}, err
+		}
+		return Figure8Point{TP: tp, Policy: pol, BusBW: res.MeanBusBW}, nil
+	})
+	return points, err
 }
 
 // spreadGroups builds TP groups whose members sit under different
@@ -230,25 +235,29 @@ type PlaneFailureRow struct {
 // both ends). Degradation should be graceful — roughly 8/(8-k) — rather
 // than a connectivity loss.
 func PlaneFailure(failedCounts []int) ([]PlaneFailureRow, error) {
-	c, err := cluster.Build(cluster.H800Config(4, cluster.MPFT))
+	c, err := cluster.Cached(cluster.H800Config(4, cluster.MPFT))
 	if err != nil {
 		return nil, err
 	}
 	opts := collective.DefaultOptions()
 	size := units.Bytes(1 * units.GiB)
-	var rows []PlaneFailureRow
+	times, err := parallel.Map(len(failedCounts), func(i int) (units.Seconds, error) {
+		return allToAllWithFailedPlanes(c, 32, size, failedCounts[i], opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Slowdowns are derived serially so the baseline semantics (latest
+	// failed==0 entry seen so far) match the original sweep exactly.
+	rows := make([]PlaneFailureRow, 0, len(failedCounts))
 	var baseline units.Seconds
-	for _, failed := range failedCounts {
-		res, err := allToAllWithFailedPlanes(c, 32, size, failed, opts)
-		if err != nil {
-			return nil, err
-		}
+	for i, failed := range failedCounts {
 		if failed == 0 {
-			baseline = res
+			baseline = times[i]
 		}
-		row := PlaneFailureRow{FailedPlanes: failed, Time: res}
+		row := PlaneFailureRow{FailedPlanes: failed, Time: times[i]}
 		if baseline > 0 {
-			row.Slowdown = res / baseline
+			row.Slowdown = times[i] / baseline
 		}
 		rows = append(rows, row)
 	}

@@ -1,0 +1,110 @@
+package experiments
+
+// The determinism contract of the parallel engine (DESIGN.md): every
+// sweep-shaped runner must render byte-identical output whether it runs
+// serially or fanned out over the worker pool. These tests execute each
+// parallel runner twice — workers=1 and workers=8 — and compare the
+// rendered artifacts byte for byte.
+
+import (
+	"testing"
+
+	"dsv3/internal/deepep"
+	"dsv3/internal/parallel"
+	"dsv3/internal/units"
+)
+
+func renderWithWorkers(t *testing.T, workers int, f func() (string, error)) string {
+	t.Helper()
+	prev := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(prev)
+	out, err := f()
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return out
+}
+
+func assertParity(t *testing.T, f func() (string, error)) {
+	t.Helper()
+	serial := renderWithWorkers(t, 1, f)
+	par := renderWithWorkers(t, 8, f)
+	if serial != par {
+		t.Errorf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, par)
+	}
+	if len(serial) == 0 {
+		t.Error("runner produced empty output")
+	}
+}
+
+func TestParallelSerialParity(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() (string, error)
+	}{
+		{"figure5", func() (string, error) {
+			pts, err := Figure5([]int{16, 32}, []units.Bytes{128 * units.MiB, 1 * units.GiB})
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure5(pts), nil
+		}},
+		{"figure6", func() (string, error) {
+			pts, err := Figure6([]units.Bytes{64, 16 * units.MiB, 1 * units.GiB})
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure6(pts), nil
+		}},
+		{"figure7", func() (string, error) {
+			pts, err := Figure7()
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure7(pts), nil
+		}},
+		{"figure8", func() (string, error) {
+			pts, err := Figure8()
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure8(pts), nil
+		}},
+		{"planefail", func() (string, error) {
+			rows, err := PlaneFailure([]int{0, 2})
+			if err != nil {
+				return "", err
+			}
+			return RenderPlaneFailure(rows), nil
+		}},
+		{"table4", RenderTable4},
+		{"fp8", RenderFP8Accuracy},
+		{"accum", func() (string, error) { return RenderAccumulationAblation(13) }},
+		{"logfmt", func() (string, error) { return RenderLogFMT(17) }},
+		{"nodelimit", func() (string, error) { return RenderNodeLimited(19) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { assertParity(t, c.f) })
+	}
+}
+
+// The worker count must never leak into the structured results either —
+// spot-check the numeric (pre-render) layer on the heaviest runner.
+func TestFigure7NumericParity(t *testing.T) {
+	run := func(workers int) []deepep.EPSweepPoint {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		pts, err := Figure7()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	serial := run(1)
+	par := run(8)
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Errorf("EP%d: serial %+v != parallel %+v", serial[i].Ranks, serial[i], par[i])
+		}
+	}
+}

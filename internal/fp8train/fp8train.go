@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"dsv3/internal/gemm"
+	"dsv3/internal/parallel"
 	"dsv3/internal/quant"
 )
 
@@ -239,17 +240,14 @@ func Train(cfg Config, prec Precision) (Result, error) {
 }
 
 // Compare trains the same configuration under several precisions and
-// returns results keyed by precision, in the given order.
+// returns results keyed by precision, in the given order. The arms are
+// fully independent (each Train seeds its own RNG from cfg.Seed), so
+// they fan out over the parallel worker pool with results identical to
+// sequential training.
 func Compare(cfg Config, precs []Precision) ([]Result, error) {
-	out := make([]Result, 0, len(precs))
-	for _, p := range precs {
-		r, err := Train(cfg, p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return parallel.Map(len(precs), func(i int) (Result, error) {
+		return Train(cfg, precs[i])
+	})
 }
 
 // RelativeLossGap returns |a-b| / b — the §2.4 metric ("relative

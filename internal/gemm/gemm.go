@@ -40,18 +40,28 @@ func Ref(a, b *quant.Matrix) *quant.Matrix {
 
 // BF16 computes C = quantize(A)·quantize(B) with float32 accumulation —
 // the baseline precision DeepSeek-V3's FP8 recipe is compared against.
+// The loop runs i-k-j over row slices with a reused float32 accumulator
+// row; per output element the adds still happen in ascending-k order,
+// so results are bit-identical to the naive i-j-k form.
 func BF16(a, b *quant.Matrix) *quant.Matrix {
 	checkShapes(a, b)
 	qa := quantizeAll(quant.BF16, a)
 	qb := quantizeAll(quant.BF16, b)
 	c := quant.NewMatrix(a.Rows, b.Cols)
+	acc := make([]float32, b.Cols)
 	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < b.Cols; j++ {
-			var acc float32
-			for kk := 0; kk < a.Cols; kk++ {
-				acc += float32(qa.At(i, kk)) * float32(qb.At(kk, j))
+		clear(acc)
+		arow := qa.Row(i)
+		for kk := 0; kk < a.Cols; kk++ {
+			av := float32(arow[kk])
+			brow := qb.Row(kk)
+			for j, bv := range brow {
+				acc[j] += av * float32(bv)
 			}
-			c.Set(i, j, float64(acc))
+		}
+		crow := c.Row(i)
+		for j, v := range acc {
+			crow[j] = float64(v)
 		}
 	}
 	return c
@@ -120,38 +130,35 @@ func FP8(a, b *quant.Matrix, cfg FP8Config) *quant.Matrix {
 		promote = k
 	}
 
-	// Quantize A row-by-row into raw FP8 codes plus per-tile scales. The
-	// raw (unscaled) codes are what the tensor cores see.
+	// Quantize A row-by-row into raw FP8 codes plus per-tile scales
+	// (flat buffer, tilesPerRow entries per row). The raw (unscaled)
+	// codes are what the tensor cores see.
 	aCodes := quant.NewMatrix(a.Rows, a.Cols)
 	tilesPerRow := (k + quant.TileWidth - 1) / quant.TileWidth
-	aScales := make([][]float64, a.Rows)
+	aScales := make([]float64, a.Rows*tilesPerRow)
 	if cfg.PerTensorScales {
 		// One scale for the whole activation tensor — the coarse baseline.
-		t := quant.QuantizePerTensor(cfg.Format, a.Data)
-		for i := 0; i < a.Rows; i++ {
-			aScales[i] = make([]float64, tilesPerRow)
-			for ti := range aScales[i] {
-				aScales[i][ti] = t.Scale
-			}
-			for c := 0; c < k; c++ {
-				aCodes.Set(i, c, t.Values[i*k+c]/t.Scale)
-			}
+		scale := quant.QuantizeTileCodes(cfg.Format, a.Data, aCodes.Data)
+		for i := range aScales {
+			aScales[i] = scale
 		}
 	} else {
 		for i := 0; i < a.Rows; i++ {
-			aScales[i] = make([]float64, tilesPerRow)
 			row := a.Row(i)
-			for ti, tile := range quant.QuantizeRowTiles(cfg.Format, row) {
-				aScales[i][ti] = tile.Scale
-				for off, v := range tile.Values {
-					aCodes.Set(i, ti*quant.TileWidth+off, v/tile.Scale)
+			codes := aCodes.Row(i)
+			for ti := 0; ti < tilesPerRow; ti++ {
+				lo := ti * quant.TileWidth
+				hi := lo + quant.TileWidth
+				if hi > k {
+					hi = k
 				}
+				aScales[i*tilesPerRow+ti] = quant.QuantizeTileCodes(cfg.Format, row[lo:hi], codes[lo:hi])
 			}
 		}
 	}
 
-	// Quantize B per 128×128 block. For the GEMM inner loop we need, for
-	// each (kTile, column), the raw code and the block scale.
+	// Quantize B per 128×128 block into raw codes; the block scale joins
+	// the tile scale in the single per-promotion dequantization multiply.
 	blockCols := quant.TileWidth
 	if cfg.PerTensorScales {
 		blockCols = b.Cols
@@ -160,32 +167,44 @@ func FP8(a, b *quant.Matrix, cfg FP8Config) *quant.Matrix {
 	if cfg.PerTensorScales {
 		blockRows = b.Rows
 	}
-	bq, bScales := quant.QuantizeBlockwise(cfg.Format, b, blockRows, blockCols)
+	bCodes := quant.NewMatrix(b.Rows, b.Cols)
+	bScales := quant.QuantizeBlockCodes(cfg.Format, b, blockRows, blockCols, bCodes)
 	blocksPerRow := (b.Cols + blockCols - 1) / blockCols
-	bScaleAt := func(kIdx, col int) float64 {
-		return bScales[(kIdx/blockRows)*blocksPerRow+col/blockCols]
+
+	// Transpose the B codes so the inner dot products read both
+	// operands contiguously instead of striding down a column.
+	bT := quant.NewMatrix(b.Cols, b.Rows)
+	for r := 0; r < b.Rows; r++ {
+		row := bCodes.Row(r)
+		for j, v := range row {
+			bT.Data[j*b.Rows+r] = v
+		}
 	}
 
+	groupSize := cfg.Acc.GroupSize
+	if groupSize <= 0 {
+		groupSize = 32
+	}
 	c := quant.NewMatrix(a.Rows, b.Cols)
-	x := make([]float64, 0, promote)
-	y := make([]float64, 0, promote)
+	scratch := make([]float64, 0, groupSize)
 	for i := 0; i < a.Rows; i++ {
+		codesRow := aCodes.Row(i)
+		cRow := c.Row(i)
 		for j := 0; j < b.Cols; j++ {
 			var acc float32
+			jBlock := j / blockCols
+			bCol := bT.Row(j)
 			for start := 0; start < k; start += promote {
 				end := start + promote
 				if end > k {
 					end = k
 				}
-				x, y = x[:0], y[:0]
-				for kk := start; kk < end; kk++ {
-					x = append(x, aCodes.At(i, kk))
-					y = append(y, bq.At(kk, j)/bScaleAt(kk, j))
-				}
-				partial := cfg.Acc.DotProduct(x, y)
+				x := codesRow[start:end]
+				yy := bCol[start:end]
+				partial := cfg.Acc.DotProductScratch(x, yy, scratch)
 				// Dequantize: tile and block scales are constant across a
 				// 128-aligned chunk, so one multiply per promotion.
-				scale := aScales[i][start/quant.TileWidth] * bScaleAt(start, j)
+				scale := aScales[i*tilesPerRow+start/quant.TileWidth] * bScales[(start/blockRows)*blocksPerRow+jBlock]
 				if cfg.PromoteEvery <= 0 {
 					// No promotion: stay in the tensor-core register the
 					// whole way; apply scale at the very end.
@@ -194,7 +213,7 @@ func FP8(a, b *quant.Matrix, cfg FP8Config) *quant.Matrix {
 					acc += float32(partial * scale)
 				}
 			}
-			c.Set(i, j, float64(acc))
+			cRow[j] = float64(acc)
 		}
 	}
 	return c

@@ -12,6 +12,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"dsv3/internal/parallel"
 )
 
 // Gate is the expert router configuration.
@@ -55,81 +57,173 @@ func (g Gate) GroupOf(expert int) int { return expert / (g.Experts / g.Groups) }
 // aux-loss-free balancing mechanism. The group limit is applied first:
 // groups are ranked by the sum of their top-2 biased scores, the best
 // GroupTopK groups survive, then the global top-k is taken inside them.
+//
+// Route allocates its result and a scratch Router per call; hot loops
+// should hold a Router and call its Route method instead.
 func (g Gate) Route(scores, bias []float64) []int {
+	r := NewRouter(g)
+	return append([]int(nil), r.Route(scores, bias)...)
+}
+
+// Router carries the reusable scratch of the routing computation so the
+// per-token hot path (DeepEP traffic generation, Monte-Carlo routing
+// statistics) runs without allocating. A Router is NOT safe for
+// concurrent use; parallel runners hold one per worker task.
+type Router struct {
+	g          Gate
+	groupScore []float64 // per-group top-2 sum
+	groupTaken []bool    // groups already selected
+	groupOK    []bool    // experts in selected groups are eligible
+	topScore   []float64 // running top-k scores, descending
+	out        []int     // result buffer, len TopK
+}
+
+// NewRouter allocates a Router for the gate. The gate should be valid;
+// Route panics on malformed inputs exactly like Gate.Route.
+func NewRouter(g Gate) *Router {
+	r := &Router{g: g, topScore: make([]float64, 0, g.TopK), out: make([]int, 0, g.TopK)}
+	if g.Groups > 0 {
+		r.groupScore = make([]float64, g.Groups)
+		r.groupTaken = make([]bool, g.Groups)
+		r.groupOK = make([]bool, g.Groups)
+	}
+	return r
+}
+
+// Route selects the token's experts exactly like Gate.Route but without
+// allocating: the returned slice (ascending expert IDs) aliases the
+// Router's internal buffer and is valid until the next call.
+func (r *Router) Route(scores, bias []float64) []int {
+	g := r.g
 	if len(scores) != g.Experts {
 		panic(fmt.Sprintf("moe: got %d scores for %d experts", len(scores), g.Experts))
 	}
-	sel := func(e int) float64 {
-		if bias != nil {
-			return scores[e] + bias[e]
-		}
-		return scores[e]
-	}
 
-	allowed := make([]bool, g.Experts)
-	if g.Groups > 0 && g.GroupTopK > 0 && g.GroupTopK < g.Groups {
-		perGroup := g.Experts / g.Groups
-		type groupScore struct {
-			group int
-			score float64
-		}
-		gs := make([]groupScore, g.Groups)
+	grouped := g.Groups > 0 && g.GroupTopK > 0 && g.GroupTopK < g.Groups
+	perGroup := 0
+	if grouped {
+		perGroup = g.Experts / g.Groups
 		for grp := 0; grp < g.Groups; grp++ {
 			// Group score = sum of the top-2 member affinities (V3 rule).
 			best, second := math.Inf(-1), math.Inf(-1)
-			for e := grp * perGroup; e < (grp+1)*perGroup; e++ {
-				s := sel(e)
-				if s > best {
-					best, second = s, best
-				} else if s > second {
-					second = s
+			members := scores[grp*perGroup : (grp+1)*perGroup]
+			if bias == nil {
+				for _, s := range members {
+					if s > best {
+						best, second = s, best
+					} else if s > second {
+						second = s
+					}
+				}
+			} else {
+				gb := bias[grp*perGroup : (grp+1)*perGroup]
+				for m, s := range members {
+					s += gb[m]
+					if s > best {
+						best, second = s, best
+					} else if s > second {
+						second = s
+					}
 				}
 			}
-			gs[grp] = groupScore{grp, best + second}
+			r.groupScore[grp] = best + second
+			r.groupTaken[grp] = false
+			r.groupOK[grp] = false
 		}
-		sort.Slice(gs, func(a, b int) bool {
-			if gs[a].score != gs[b].score {
-				return gs[a].score > gs[b].score
+		// Pick the top GroupTopK groups by (score desc, index asc):
+		// repeated argmax with strict > keeps the lowest index on ties,
+		// matching a stable descending sort. The best < 0 clause accepts
+		// the first unpicked group even when every score is -Inf (one
+		// expert per group makes the top-2 sum -Inf across the board).
+		for pick := 0; pick < g.GroupTopK; pick++ {
+			best, bestScore := -1, math.Inf(-1)
+			for grp := 0; grp < g.Groups; grp++ {
+				if !r.groupTaken[grp] && (best < 0 || r.groupScore[grp] > bestScore) {
+					best, bestScore = grp, r.groupScore[grp]
+				}
 			}
-			return gs[a].group < gs[b].group
-		})
-		for _, x := range gs[:g.GroupTopK] {
-			grp := x.group
-			for e := grp * perGroup; e < (grp+1)*perGroup; e++ {
-				allowed[e] = true
-			}
-		}
-	} else {
-		for e := range allowed {
-			allowed[e] = true
+			r.groupTaken[best] = true
+			r.groupOK[best] = true
 		}
 	}
 
-	candidates := make([]int, 0, g.Experts)
-	for e := 0; e < g.Experts; e++ {
-		if allowed[e] {
-			candidates = append(candidates, e)
+	// Global top-k inside the surviving groups in one pass, maintaining
+	// a small descending-ordered buffer. Candidates arrive in ascending
+	// expert index; a candidate is inserted strictly after every kept
+	// entry with an equal-or-higher score, so the buffer realizes the
+	// (score desc, index asc) total order a stable sort would produce.
+	r.topScore = r.topScore[:0]
+	r.out = r.out[:0]
+	consider := func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			s := scores[e]
+			if bias != nil {
+				s += bias[e]
+			}
+			n := len(r.out)
+			if n == g.TopK {
+				if s <= r.topScore[n-1] {
+					continue
+				}
+				n--
+				r.topScore = r.topScore[:n]
+				r.out = r.out[:n]
+			}
+			pos := n
+			for pos > 0 && r.topScore[pos-1] < s {
+				pos--
+			}
+			r.topScore = append(r.topScore, 0)
+			r.out = append(r.out, 0)
+			copy(r.topScore[pos+1:], r.topScore[pos:])
+			copy(r.out[pos+1:], r.out[pos:])
+			r.topScore[pos] = s
+			r.out[pos] = e
 		}
 	}
-	sort.Slice(candidates, func(a, b int) bool {
-		sa, sb := sel(candidates[a]), sel(candidates[b])
-		if sa != sb {
-			return sa > sb
+	if grouped {
+		for grp := 0; grp < g.Groups; grp++ {
+			if r.groupOK[grp] {
+				consider(grp*perGroup, (grp+1)*perGroup)
+			}
 		}
-		return candidates[a] < candidates[b]
-	})
-	out := append([]int(nil), candidates[:g.TopK]...)
-	sort.Ints(out)
-	return out
+	} else {
+		consider(0, g.Experts)
+	}
+	if len(r.out) < g.TopK {
+		panic(fmt.Sprintf("moe: top-%d does not fit the allowed groups of %+v", g.TopK, g))
+	}
+	// Return ascending expert IDs (insertion sort; TopK is small).
+	sortSmall(r.out)
+	return r.out
+}
+
+// sortSmall is an allocation-free insertion sort for the tiny result
+// slices the router produces (sort.Ints forces an interface escape).
+func sortSmall(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
 }
 
 // RandomScores draws i.i.d. sigmoid-like affinities in (0,1).
 func (g Gate) RandomScores(rng *rand.Rand) []float64 {
 	s := make([]float64, g.Experts)
-	for i := range s {
-		s[i] = rng.Float64()
-	}
+	g.RandomScoresInto(s, rng)
 	return s
+}
+
+// RandomScoresInto fills dst with i.i.d. affinities in (0,1), drawing
+// exactly Experts variates; dst must have length Experts.
+func (g Gate) RandomScoresInto(dst []float64, rng *rand.Rand) {
+	if len(dst) != g.Experts {
+		panic(fmt.Sprintf("moe: scores buffer %d for %d experts", len(dst), g.Experts))
+	}
+	for i := range dst {
+		dst[i] = rng.Float64()
+	}
 }
 
 // Placement maps experts onto an EP group: Nodes hosts of GPUsPerNode
@@ -198,6 +292,71 @@ func (p Placement) Dispatch(experts []int) TokenDispatch {
 	return td
 }
 
+// Dispatcher computes the dedup structure of routed tokens without
+// allocating: node and GPU target sets live in reusable mark arrays.
+// Results alias internal buffers and are valid until the next Dispatch
+// call. Not safe for concurrent use — hold one per worker task.
+type Dispatcher struct {
+	p        Placement
+	nodeMark []bool
+	gpuMark  []bool // [node*GPUsPerNode+gpu]
+	nodes    []int  // deduplicated target nodes, ascending
+	fanout   int
+}
+
+// NewDispatcher allocates a Dispatcher for a validated placement.
+func NewDispatcher(p Placement) *Dispatcher {
+	return &Dispatcher{
+		p:        p,
+		nodeMark: make([]bool, p.Nodes),
+		gpuMark:  make([]bool, p.Nodes*p.GPUsPerNode),
+		nodes:    make([]int, 0, p.Nodes),
+	}
+}
+
+// Dispatch computes the dedup structure of one routed token. Target
+// nodes are returned ascending via Nodes; per-node GPU membership is
+// queried with HasGPU.
+func (d *Dispatcher) Dispatch(experts []int) {
+	for _, n := range d.nodes {
+		d.nodeMark[n] = false
+		base := n * d.p.GPUsPerNode
+		for g := 0; g < d.p.GPUsPerNode; g++ {
+			d.gpuMark[base+g] = false
+		}
+	}
+	d.nodes = d.nodes[:0]
+	d.fanout = 0
+	for _, e := range experts {
+		n, g := d.p.GPUOf(e)
+		if !d.nodeMark[n] {
+			d.nodeMark[n] = true
+			// Insertion into ascending order (at most TopK nodes).
+			d.nodes = append(d.nodes, n)
+			for i := len(d.nodes) - 1; i > 0 && d.nodes[i-1] > d.nodes[i]; i-- {
+				d.nodes[i-1], d.nodes[i] = d.nodes[i], d.nodes[i-1]
+			}
+		}
+		if idx := n*d.p.GPUsPerNode + g; !d.gpuMark[idx] {
+			d.gpuMark[idx] = true
+			d.fanout++
+		}
+	}
+}
+
+// Nodes returns the deduplicated target nodes of the last Dispatch,
+// ascending. The slice aliases internal state.
+func (d *Dispatcher) Nodes() []int { return d.nodes }
+
+// HasGPU reports whether the last Dispatch targets (node, gpu).
+func (d *Dispatcher) HasGPU(node, gpu int) bool {
+	return d.gpuMark[node*d.p.GPUsPerNode+gpu]
+}
+
+// GPUFanout returns the number of distinct (node, gpu) targets of the
+// last Dispatch.
+func (d *Dispatcher) GPUFanout() int { return d.fanout }
+
 // RoutingStats aggregates dispatch structure over many tokens.
 type RoutingStats struct {
 	Tokens int
@@ -215,35 +374,113 @@ type RoutingStats struct {
 }
 
 // CollectStats routes `tokens` synthetic tokens from the given source
-// node and aggregates dispatch statistics. bias may be nil.
+// node and aggregates dispatch statistics. bias may be nil. The caller
+// owns the RNG stream, so this path is inherently serial; the
+// experiment runners use CollectStatsSeeded, which chunks the trials
+// over the parallel engine.
 func CollectStats(g Gate, p Placement, tokens, srcNode int, bias []float64, rng *rand.Rand) RoutingStats {
-	st := RoutingStats{Tokens: tokens, ExpertLoad: make([]int, g.Experts)}
-	for t := 0; t < tokens; t++ {
-		experts := g.Route(g.RandomScores(rng), bias)
-		td := p.Dispatch(experts)
-		st.MeanNodes += float64(len(td.Nodes))
-		if len(td.Nodes) > st.MaxNodes {
-			st.MaxNodes = len(td.Nodes)
+	acc := newStatsAccumulator(g, p, srcNode, bias)
+	acc.routeTokens(tokens, rng)
+	return acc.finish(tokens)
+}
+
+// statsChunkTokens is the Monte-Carlo granularity of
+// CollectStatsSeeded: one RNG stream (and one scratch Router +
+// Dispatcher) per 256-token chunk.
+const statsChunkTokens = 256
+
+// CollectStatsSeeded is CollectStats with per-chunk seed derivation:
+// trials run in fixed 256-token chunks, each on its own RNG stream
+// derived from (seed, chunk), fanned out over the parallel worker
+// pool. Counters are integers, so the chunk merge is exact and the
+// result is bit-identical for every worker count — including 1.
+func CollectStatsSeeded(g Gate, p Placement, tokens, srcNode int, bias []float64, seed int64) RoutingStats {
+	chunks := (tokens + statsChunkTokens - 1) / statsChunkTokens
+	parts, _ := parallel.Map(chunks, func(ci int) (*statsAccumulator, error) {
+		n := statsChunkTokens
+		if rem := tokens - ci*statsChunkTokens; rem < n {
+			n = rem
 		}
-		remote := 0
-		fan := 0
-		for _, n := range td.Nodes {
-			if n != srcNode {
-				remote++
+		acc := newStatsAccumulator(g, p, srcNode, bias)
+		acc.routeTokens(n, rand.New(rand.NewSource(parallel.DeriveSeed(seed, ci))))
+		return acc, nil
+	})
+	total := newStatsAccumulator(g, p, srcNode, bias)
+	for _, part := range parts {
+		total.merge(part)
+	}
+	return total.finish(tokens)
+}
+
+// statsAccumulator holds integer routing counters (exact under any
+// merge order) plus the per-task routing scratch.
+type statsAccumulator struct {
+	router  *Router
+	disp    *Dispatcher
+	scores  []float64
+	bias    []float64
+	srcNode int
+
+	nodes, remote, fanout int
+	maxNodes              int
+	load                  []int
+}
+
+func newStatsAccumulator(g Gate, p Placement, srcNode int, bias []float64) *statsAccumulator {
+	return &statsAccumulator{
+		router:  NewRouter(g),
+		disp:    NewDispatcher(p),
+		scores:  make([]float64, g.Experts),
+		bias:    bias,
+		srcNode: srcNode,
+		load:    make([]int, g.Experts),
+	}
+}
+
+func (a *statsAccumulator) routeTokens(n int, rng *rand.Rand) {
+	for t := 0; t < n; t++ {
+		a.router.g.RandomScoresInto(a.scores, rng)
+		experts := a.router.Route(a.scores, a.bias)
+		a.disp.Dispatch(experts)
+		targets := a.disp.Nodes()
+		a.nodes += len(targets)
+		if len(targets) > a.maxNodes {
+			a.maxNodes = len(targets)
+		}
+		for _, node := range targets {
+			if node != a.srcNode {
+				a.remote++
 			}
-			fan += len(td.GPUsByNode[n])
 		}
-		st.MeanRemoteNodes += float64(remote)
-		st.MeanGPUFanout += float64(fan)
+		a.fanout += a.disp.GPUFanout()
 		for _, e := range experts {
-			st.ExpertLoad[e]++
+			a.load[e]++
 		}
 	}
+}
+
+func (a *statsAccumulator) merge(b *statsAccumulator) {
+	a.nodes += b.nodes
+	a.remote += b.remote
+	a.fanout += b.fanout
+	if b.maxNodes > a.maxNodes {
+		a.maxNodes = b.maxNodes
+	}
+	for e, c := range b.load {
+		a.load[e] += c
+	}
+}
+
+func (a *statsAccumulator) finish(tokens int) RoutingStats {
 	n := float64(tokens)
-	st.MeanNodes /= n
-	st.MeanRemoteNodes /= n
-	st.MeanGPUFanout /= n
-	return st
+	return RoutingStats{
+		Tokens:          tokens,
+		MeanNodes:       float64(a.nodes) / n,
+		MeanRemoteNodes: float64(a.remote) / n,
+		MaxNodes:        a.maxNodes,
+		MeanGPUFanout:   float64(a.fanout) / n,
+		ExpertLoad:      a.load,
+	}
 }
 
 // LoadBalancer implements DeepSeek-V3's aux-loss-free load balancing:

@@ -86,6 +86,22 @@ func TestRouteGroupLimitExcludesBestExpert(t *testing.T) {
 	}
 }
 
+// One expert per group makes every group's top-2 sum -Inf (no second
+// member); selection must still pick the leading groups rather than
+// none (regression: the argmax over all-(-Inf) scores used to panic).
+func TestRouteSingleExpertGroups(t *testing.T) {
+	g := Gate{Experts: 4, TopK: 2, Groups: 4, GroupTopK: 2}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	experts := g.Route([]float64{0.1, 0.9, 0.5, 0.7}, nil)
+	// Groups tie at -Inf, so groups 0 and 1 survive; top-2 inside them
+	// is experts 0 and 1.
+	if len(experts) != 2 || experts[0] != 0 || experts[1] != 1 {
+		t.Errorf("Route = %v, want [0 1]", experts)
+	}
+}
+
 func TestRouteDeterministic(t *testing.T) {
 	g := V3Gate()
 	rng := rand.New(rand.NewSource(43))

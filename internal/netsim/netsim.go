@@ -112,19 +112,26 @@ func Simulate(g *topology.Graph, flows []Flow) Result {
 		}
 	}
 
-	// Group subflows by start time.
+	// Group subflows by start time. Most collectives launch everything
+	// at t=0, in which case creation order is already sorted.
 	bySID := make([]int, len(subs))
+	staged := false
 	for i := range bySID {
 		bySID[i] = i
+		if flows[subs[i].flow].StartTime != 0 {
+			staged = true
+		}
 	}
-	sort.SliceStable(bySID, func(a, b int) bool {
-		return flows[subs[bySID[a]].flow].StartTime < flows[subs[bySID[b]].flow].StartTime
-	})
+	if staged {
+		sort.SliceStable(bySID, func(a, b int) bool {
+			return flows[subs[bySID[a]].flow].StartTime < flows[subs[bySID[b]].flow].StartTime
+		})
+	}
 
 	now := 0.0
 	nextStart := 0
 	var active []int
-	pf := newFiller(g)
+	pf := newFiller(g, subs)
 
 	for {
 		// Admit subflows whose start time has arrived.
@@ -211,28 +218,31 @@ type filler struct {
 	vlink    []int // subflow -> virtual link ID this epoch (-1 none)
 }
 
-func newFiller(g *topology.Graph) *filler {
-	return &filler{g: g}
-}
-
-func (pf *filler) grow(links, subCount int) {
-	total := links + subCount // worst case: every subflow capped
-	if len(pf.residual) < total {
-		pf.residual = make([]float64, total)
-		pf.count = make([]int, total)
-		pf.linkSubs = make([][]int, total)
+func newFiller(g *topology.Graph, subs []subflow) *filler {
+	// Virtual links exist only for rate-capped subflows; sizing the
+	// link-indexed scratch to links+capped (not links+len(subs)) keeps
+	// the allocation proportional to the real problem — collectives
+	// typically cap nothing.
+	capped := 0
+	for i := range subs {
+		if subs[i].cap > 0 {
+			capped++
+		}
 	}
-	if len(pf.frozen) < subCount {
-		pf.frozen = make([]bool, subCount)
-		pf.vlink = make([]int, subCount)
-	}
+	pf := &filler{g: g}
+	total := len(g.Links) + capped
+	pf.residual = make([]float64, total)
+	pf.count = make([]int, total)
+	pf.linkSubs = make([][]int, total)
+	pf.frozen = make([]bool, len(subs))
+	pf.vlink = make([]int, len(subs))
+	return pf
 }
 
 // assign computes the (unique) max-min fair allocation for the active
 // subflows. Ties are broken by lowest link ID for determinism.
 func (pf *filler) assign(subs []subflow, active []int) {
 	nLinks := len(pf.g.Links)
-	pf.grow(nLinks, len(subs))
 	pf.touched = pf.touched[:0]
 	nextVirtual := nLinks
 	for _, si := range active {
@@ -261,36 +271,49 @@ func (pf *filler) assign(subs []subflow, active []int) {
 
 	undetermined := len(active)
 	for undetermined > 0 {
-		bestLink, bestShare := -1, math.Inf(1)
+		// Water-filling level: the minimum per-subflow share over all
+		// still-loaded links.
+		minShare := math.Inf(1)
 		for _, lid := range pf.touched {
 			if pf.count[lid] <= 0 {
 				continue
 			}
-			share := pf.residual[lid] / float64(pf.count[lid])
-			if share < bestShare || (share == bestShare && lid < bestLink) {
-				bestShare, bestLink = share, lid
+			if share := pf.residual[lid] / float64(pf.count[lid]); share < minShare {
+				minShare = share
 			}
 		}
-		if bestLink < 0 {
+		if math.IsInf(minShare, 1) {
 			panic("netsim: progressive filling found no bottleneck")
 		}
-		if bestShare < 0 {
-			bestShare = 0
+		rate := minShare
+		if rate < 0 {
+			rate = 0
 		}
-		for _, si := range pf.linkSubs[bestLink] {
-			if pf.frozen[si] {
+		// Freeze every link sitting at the level in one batch. Removing
+		// a subflow at exactly the bottleneck rate keeps a same-level
+		// link at that level (residual −= r, count −= 1 preserves
+		// residual/count = r), so batch-freezing equals the classic
+		// one-link-per-iteration filling while doing O(levels) instead
+		// of O(links) selection sweeps.
+		for _, lid := range pf.touched {
+			if pf.count[lid] <= 0 || pf.residual[lid]/float64(pf.count[lid]) != minShare {
 				continue
 			}
-			pf.frozen[si] = true
-			subs[si].rate = bestShare
-			undetermined--
-			for _, lid := range subs[si].path {
-				pf.residual[lid] -= bestShare
-				pf.count[lid]--
-			}
-			if v := pf.vlink[si]; v >= 0 {
-				pf.residual[v] -= bestShare
-				pf.count[v]--
+			for _, si := range pf.linkSubs[lid] {
+				if pf.frozen[si] {
+					continue
+				}
+				pf.frozen[si] = true
+				subs[si].rate = rate
+				undetermined--
+				for _, plid := range subs[si].path {
+					pf.residual[plid] -= rate
+					pf.count[plid]--
+				}
+				if v := pf.vlink[si]; v >= 0 {
+					pf.residual[v] -= rate
+					pf.count[v]--
+				}
 			}
 		}
 	}

@@ -14,7 +14,7 @@ import "math"
 //     (13) mantissa bits — the "FP22" register (1 sign / 8 exp / 13 mant).
 //
 // Setting RegisterMantBits and AlignFracBits to 23 models a true FP32
-// tensor-core accumulator; the ablation in EXPERIMENTS.md sweeps these.
+// tensor-core accumulator; the §3.1.1 ablation runner sweeps these.
 type Accumulator struct {
 	// GroupSize is the number of products aligned and added as one unit.
 	GroupSize int
@@ -41,15 +41,40 @@ func FP32Reference() Accumulator {
 	return Accumulator{GroupSize: 32, AlignFracBits: 23, RegisterMantBits: 23}
 }
 
+// normExponent returns the normalized exponent of a finite non-zero v
+// (v = ±frac·2^(e+1), frac in [0.5,1) — i.e. math.Frexp's exp minus 1)
+// straight from the float64 bit pattern; subnormals fall back to Frexp.
+func normExponent(v float64) int {
+	e := int(math.Float64bits(v)>>52) & 0x7ff
+	if e == 0 { // subnormal
+		_, exp := math.Frexp(v)
+		return exp - 1
+	}
+	return e - 1023
+}
+
+// pow2 builds 2^n directly from the exponent bits. n must lie in the
+// normal range [-1022, 1023]; callers guard it. Unlike math.Ldexp this
+// inlines to a shift and an add.
+func pow2(n int) float64 { return math.Float64frombits(uint64(n+1023) << 52) }
+
 // truncateToRegister rounds v to RegisterMantBits mantissa bits,
 // truncating toward zero unless RoundRegister is set.
 func (a Accumulator) truncateToRegister(v float64) float64 {
 	if v == 0 || math.IsInf(v, 0) || math.IsNaN(v) {
 		return v
 	}
-	_, exp := math.Frexp(v)
-	normExp := exp - 1
-	quantum := math.Ldexp(1, normExp-a.RegisterMantBits)
+	// quantum is a power of two, so scaling by it (either way) is exact:
+	// multiplying by the inverse matches dividing bit-for-bit.
+	shift := normExponent(v) - a.RegisterMantBits
+	if shift >= -1021 && shift <= 1022 {
+		quantum, invQuantum := pow2(shift), pow2(-shift)
+		if a.RoundRegister {
+			return math.RoundToEven(v*invQuantum) * quantum
+		}
+		return math.Trunc(v*invQuantum) * quantum
+	}
+	quantum := math.Ldexp(1, shift)
 	if a.RoundRegister {
 		return math.RoundToEven(v/quantum) * quantum
 	}
@@ -62,19 +87,35 @@ func (a Accumulator) truncateToRegister(v float64) float64 {
 func (a Accumulator) alignedGroupSum(products []float64) float64 {
 	maxExp := math.MinInt32
 	for _, p := range products {
-		if p == 0 {
+		// Exponent straight from the bit pattern (sign masked off);
+		// e == 0 covers both zeros and subnormals.
+		e := int(math.Float64bits(p)>>52) & 0x7ff
+		if e == 0 {
+			if p != 0 {
+				if ne := normExponent(math.Abs(p)); ne > maxExp {
+					maxExp = ne
+				}
+			}
 			continue
 		}
-		_, exp := math.Frexp(math.Abs(p))
-		if exp-1 > maxExp {
-			maxExp = exp - 1
+		if e-1023 > maxExp {
+			maxExp = e - 1023
 		}
 	}
 	if maxExp == math.MinInt32 {
 		return 0
 	}
-	quantum := math.Ldexp(1, maxExp-a.AlignFracBits)
 	var sum float64
+	if shift := a.AlignFracBits - maxExp; shift >= -1021 && shift <= 1022 {
+		// Common case: 2^shift is a normal float64, so multiplying by the
+		// inverse is exact and bit-identical to dividing by quantum.
+		quantum, invQuantum := pow2(-shift), pow2(shift)
+		for _, p := range products {
+			sum += math.Trunc(p*invQuantum) * quantum
+		}
+		return sum
+	}
+	quantum := math.Ldexp(1, maxExp-a.AlignFracBits)
 	for _, p := range products {
 		sum += math.Trunc(p/quantum) * quantum
 	}
@@ -86,6 +127,17 @@ func (a Accumulator) alignedGroupSum(products []float64) float64 {
 // source format (e.g. FP8); products of two FP8 values are exact in
 // float64, matching the hardware's exact multiplier array.
 func (a Accumulator) DotProduct(x, y []float64) float64 {
+	group := a.GroupSize
+	if group <= 0 {
+		group = 32
+	}
+	return a.DotProductScratch(x, y, make([]float64, 0, group))
+}
+
+// DotProductScratch is DotProduct with a caller-provided product buffer
+// (capacity >= GroupSize), so GEMM inner loops run allocation-free. The
+// arithmetic sequence is identical to DotProduct's.
+func (a Accumulator) DotProductScratch(x, y, scratch []float64) float64 {
 	if len(x) != len(y) {
 		panic("quant: DotProduct length mismatch")
 	}
@@ -93,22 +145,18 @@ func (a Accumulator) DotProduct(x, y []float64) float64 {
 	if group <= 0 {
 		group = 32
 	}
-	products := make([]float64, 0, group)
+	products := scratch[:0]
 	var acc float64
-	flush := func() {
-		if len(products) == 0 {
-			return
-		}
-		acc = a.truncateToRegister(acc + a.alignedGroupSum(products))
-		products = products[:0]
-	}
 	for i := range x {
 		products = append(products, x[i]*y[i])
 		if len(products) == group {
-			flush()
+			acc = a.truncateToRegister(acc + a.alignedGroupSum(products))
+			products = products[:0]
 		}
 	}
-	flush()
+	if len(products) > 0 {
+		acc = a.truncateToRegister(acc + a.alignedGroupSum(products))
+	}
 	return acc
 }
 

@@ -56,6 +56,73 @@ func QuantizePerTensor(f Format, xs []float64) ScaledTile {
 	return QuantizeTile(f, xs)
 }
 
+// QuantizeTileCodes quantizes one tile into raw format codes — the
+// unscaled values the tensor cores consume — writing them into codes
+// (same length as tile; may alias it) and returning the tile scale.
+// This is the allocation-free form of QuantizeTile used by the GEMM
+// hot path: dequantized value = code × scale.
+func QuantizeTileCodes(f Format, tile, codes []float64) float64 {
+	maxAbs := 0.0
+	for _, x := range tile {
+		maxAbs = math.Max(maxAbs, math.Abs(x))
+	}
+	scale := 1.0
+	if maxAbs > 0 {
+		scale = maxAbs / f.MaxFinite
+	}
+	for i, x := range tile {
+		codes[i] = f.Quantize(x / scale)
+	}
+	return scale
+}
+
+// QuantizeBlockCodes quantizes m per blockRows×blockCols block into raw
+// format codes, writing them into codes (same shape as m) and returning
+// one scale per block in block-row-major order. It is the raw-code
+// counterpart of QuantizeBlockwise, sized for reuse in GEMM inner loops
+// where the scale is applied once per promoted partial rather than per
+// element.
+func QuantizeBlockCodes(f Format, m *Matrix, blockRows, blockCols int, codes *Matrix) []float64 {
+	if codes.Rows != m.Rows || codes.Cols != m.Cols {
+		panic("quant: QuantizeBlockCodes shape mismatch")
+	}
+	blocksPerRow := (m.Cols + blockCols - 1) / blockCols
+	blocksPerCol := (m.Rows + blockRows - 1) / blockRows
+	scales := make([]float64, 0, blocksPerRow*blocksPerCol)
+	for br := 0; br < m.Rows; br += blockRows {
+		rEnd := br + blockRows
+		if rEnd > m.Rows {
+			rEnd = m.Rows
+		}
+		for bc := 0; bc < m.Cols; bc += blockCols {
+			cEnd := bc + blockCols
+			if cEnd > m.Cols {
+				cEnd = m.Cols
+			}
+			maxAbs := 0.0
+			for r := br; r < rEnd; r++ {
+				row := m.Row(r)[bc:cEnd]
+				for _, x := range row {
+					maxAbs = math.Max(maxAbs, math.Abs(x))
+				}
+			}
+			scale := 1.0
+			if maxAbs > 0 {
+				scale = maxAbs / f.MaxFinite
+			}
+			scales = append(scales, scale)
+			for r := br; r < rEnd; r++ {
+				src := m.Row(r)[bc:cEnd]
+				dst := codes.Row(r)[bc:cEnd]
+				for i, x := range src {
+					dst[i] = f.Quantize(x / scale)
+				}
+			}
+		}
+	}
+	return scales
+}
+
 // Matrix is a dense row-major float64 matrix. It is the carrier type for
 // the GEMM and quantization experiments.
 type Matrix struct {
