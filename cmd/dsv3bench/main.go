@@ -1,154 +1,165 @@
 // Command dsv3bench regenerates every table and figure of the paper's
-// evaluation and prints them with the paper's reference values.
+// evaluation and emits them with the paper's reference values.
 //
 // Experiments run concurrently on the deterministic worker pool by
-// default; the rendered tables are byte-identical to a serial run
-// (-parallel=false) and always print in catalogue order on stdout. A
+// default; emitted results are byte-identical to a serial run
+// (-parallel=false) and always appear in catalogue order. A
 // per-experiment wall-time report goes to stderr so stdout stays
 // comparable across modes.
 //
+// Output is structured: every runner produces a results.Result (typed
+// columns, units, metadata) and -format selects the emitter. The text
+// emitter reproduces the historical fixed-width tables byte for byte;
+// json and csv carry the typed values. -out writes one file per
+// experiment instead of streaming to stdout — the layout the golden
+// corpus under testdata/golden is built from (see scripts/golden.sh).
+//
 // Usage:
 //
-//	dsv3bench                 # run everything, in parallel
-//	dsv3bench -parallel=false # serial execution (identical output)
-//	dsv3bench -run table3     # run one experiment
-//	dsv3bench -list           # list experiment names
-//	dsv3bench -quick          # smaller sweeps for a fast pass
+//	dsv3bench                          # run everything, in parallel
+//	dsv3bench -parallel=false          # serial execution (identical output)
+//	dsv3bench -run table3              # run one experiment
+//	dsv3bench -list                    # list experiment names
+//	dsv3bench -quick                   # smaller sweeps for a fast pass
+//	dsv3bench -format json             # JSON array on stdout
+//	dsv3bench -format csv -out dir/    # one CSV file per experiment
+//	dsv3bench -quick -deterministic -format json -out testdata/golden
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"dsv3"
 	"dsv3/internal/parallel"
+	"dsv3/internal/results"
 )
-
-type experiment struct {
-	name string
-	desc string
-	run  func(quick bool) (string, error)
-}
-
-func catalogue() []experiment {
-	return []experiment{
-		{"table1", "KV cache per token (MLA vs GQA)", func(bool) (string, error) { return dsv3.RenderTable1(), nil }},
-		{"table2", "training GFLOPs per token (MoE vs dense)", func(bool) (string, error) { return dsv3.RenderTable2(), nil }},
-		{"table3", "network topology cost comparison", func(bool) (string, error) { return dsv3.RenderTable3() }},
-		{"table4", "training metrics MPFT vs MRFT", func(bool) (string, error) { return dsv3.RenderTable4() }},
-		{"table5", "link-layer 64B latency", func(bool) (string, error) { return dsv3.RenderTable5(), nil }},
-		{"figure5", "NCCL all-to-all bandwidth MPFT vs MRFT", func(quick bool) (string, error) {
-			gpus := []int{32, 64, 128}
-			sizes := dsv3.DefaultFigure5Sizes()
-			if quick {
-				gpus = []int{32}
-				sizes = sizes[:2]
-			}
-			pts, err := dsv3.Figure5(gpus, sizes)
-			if err != nil {
-				return "", err
-			}
-			return dsv3.RenderFigure5(pts), nil
-		}},
-		{"figure6", "all-to-all latency parity on 16 GPUs", func(bool) (string, error) {
-			pts, err := dsv3.Figure6(dsv3.DefaultFigure6Sizes())
-			if err != nil {
-				return "", err
-			}
-			return dsv3.RenderFigure6(pts), nil
-		}},
-		{"figure7", "DeepEP dispatch/combine bandwidth", func(bool) (string, error) {
-			pts, err := dsv3.Figure7()
-			if err != nil {
-				return "", err
-			}
-			return dsv3.RenderFigure7(pts), nil
-		}},
-		{"figure8", "RoCE routing policies (ECMP/AR/static)", func(bool) (string, error) {
-			pts, err := dsv3.Figure8()
-			if err != nil {
-				return "", err
-			}
-			return dsv3.RenderFigure8(pts), nil
-		}},
-		{"inference", "§2.3.2 EP inference speed limits", func(bool) (string, error) { return dsv3.RenderInferenceLimits() }},
-		{"mtp", "§2.3.3 MTP speculative decoding speedup", func(bool) (string, error) { return dsv3.RenderMTP(7) }},
-		{"local", "§2.2.2 local deployment rooflines", func(bool) (string, error) { return dsv3.RenderLocalDeploy(), nil }},
-		{"fp8", "§2.4 FP8 vs BF16 toy-training accuracy", func(bool) (string, error) { return dsv3.RenderFP8Accuracy() }},
-		{"accum", "§3.1.1 accumulation precision ablation", func(bool) (string, error) { return dsv3.RenderAccumulation(13) }},
-		{"logfmt", "§3.2 LogFMT vs FP8/BF16 accuracy", func(bool) (string, error) { return dsv3.RenderLogFMT(17) }},
-		{"nodelimit", "§4.3 node-limited routing dedup", func(bool) (string, error) { return dsv3.RenderNodeLimited(19) }},
-		{"planefail", "§5.1.1 multi-plane failure robustness", func(bool) (string, error) {
-			rows, err := dsv3.PlaneFailure([]int{0, 1, 2, 4})
-			if err != nil {
-				return "", err
-			}
-			return dsv3.RenderPlaneFailure(rows), nil
-		}},
-		{"overlap", "§2.3.1 dual micro-batch overlap ablation", func(bool) (string, error) { return dsv3.RenderOverlap() }},
-		{"contention", "§4.5 PCIe bandwidth contention", func(bool) (string, error) { return dsv3.RenderContention() }},
-		{"sdc", "§6.1.2 checksum-based SDC detection", func(bool) (string, error) { return dsv3.RenderSDC(29) }},
-	}
-}
 
 func main() {
 	runName := flag.String("run", "", "run a single experiment by name")
 	list := flag.Bool("list", false, "list experiments")
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	par := flag.Bool("parallel", true, "run experiments on the worker pool (output is byte-identical to serial)")
+	formatName := flag.String("format", "text", "output format: text, json, or csv")
+	outDir := flag.String("out", "", "write one <experiment>.<ext> file per experiment into this directory instead of stdout")
+	deterministic := flag.Bool("deterministic", false, "omit volatile metadata (wall time) from emitted results, for golden-corpus comparison")
 	flag.Parse()
+
+	format, err := results.ParseFormat(*formatName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if !*par {
 		parallel.SetWorkers(1)
 	}
 
-	exps := catalogue()
+	exps := dsv3.Experiments()
 	if *list {
 		for _, e := range exps {
-			fmt.Printf("%-10s %s\n", e.name, e.desc)
+			fmt.Printf("%-10s %s\n", e.Name, e.Desc)
 		}
 		return
 	}
-	var selected []experiment
+	var selected []dsv3.ExperimentRunner
 	for _, e := range exps {
-		if *runName == "" || strings.EqualFold(e.name, *runName) {
+		if *runName == "" || strings.EqualFold(e.Name, *runName) {
 			selected = append(selected, e)
 		}
 	}
 	if len(selected) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *runName)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid experiments:\n", *runName)
+		for _, name := range dsv3.ExperimentNames() {
+			fmt.Fprintf(os.Stderr, "  %s\n", name)
+		}
 		os.Exit(1)
 	}
 
 	// Fan the experiment list out over the same pool the sweeps use
-	// internally; outputs return in catalogue order regardless of which
+	// internally; results return in catalogue order regardless of which
 	// experiment finishes first.
 	start := time.Now()
-	type outcome struct {
-		out     string
-		elapsed time.Duration
-	}
-	results, err := parallel.Map(len(selected), func(i int) (outcome, error) {
+	opts := dsv3.RunOptions{Quick: *quick}
+	res, err := parallel.Map(len(selected), func(i int) (*results.Result, error) {
 		t0 := time.Now()
-		out, err := selected[i].run(*quick)
+		r, err := selected[i].Run(opts)
 		if err != nil {
-			return outcome{}, fmt.Errorf("%s: %w", selected[i].name, err)
+			return nil, err
 		}
-		return outcome{out: out, elapsed: time.Since(t0)}, nil
+		if !*deterministic {
+			r.Meta.WallTime = time.Since(t0)
+		}
+		return r, nil
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	for i, e := range selected {
-		fmt.Printf("=== %s — %s ===\n%s\n", e.name, e.desc, results[i].out)
+
+	if *outDir != "" {
+		if err := writeFiles(*outDir, format, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else if err := emit(format, res); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+
 	fmt.Fprintf(os.Stderr, "--- wall time (workers=%d) ---\n", parallel.Workers())
 	for i, e := range selected {
-		fmt.Fprintf(os.Stderr, "%-10s %8.1fms\n", e.name, float64(results[i].elapsed.Microseconds())/1e3)
+		fmt.Fprintf(os.Stderr, "%-10s %8.1fms\n", e.Name, float64(res[i].Meta.WallTime.Microseconds())/1e3)
 	}
 	fmt.Fprintf(os.Stderr, "%-10s %8.1fms\n", "total", float64(time.Since(start).Microseconds())/1e3)
+}
+
+// emit streams the selected results to stdout in the chosen format.
+// Text output frames each experiment with the historical `=== name —
+// desc ===` banner; json emits one array; csv concatenates per-table
+// blocks.
+func emit(format results.Format, res []*results.Result) error {
+	switch format {
+	case results.FormatJSON:
+		return results.EmitJSONAll(os.Stdout, res)
+	case results.FormatCSV:
+		return results.EmitCSVAll(os.Stdout, res)
+	default:
+		for _, r := range res {
+			fmt.Printf("=== %s — %s ===\n%s\n", r.Experiment, r.Desc, r.Text())
+		}
+		return nil
+	}
+}
+
+// writeFiles writes one <experiment>.<ext> per result into dir.
+func writeFiles(dir string, format results.Format, res []*results.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range res {
+		var buf bytes.Buffer
+		var err error
+		switch format {
+		case results.FormatJSON:
+			err = results.EmitJSON(&buf, r)
+		case results.FormatCSV:
+			err = results.EmitCSV(&buf, r)
+		default:
+			_, err = buf.WriteString(r.Text())
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.Experiment, err)
+		}
+		path := filepath.Join(dir, r.Experiment+"."+format.Ext())
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -41,8 +41,57 @@ import (
 	"dsv3/internal/parallel"
 	"dsv3/internal/pipeline"
 	"dsv3/internal/quant"
+	"dsv3/internal/results"
 	"dsv3/internal/topology"
 	"dsv3/internal/trainsim"
+)
+
+// Structured experiment results. Every catalogue runner produces a
+// Result — typed tables (columns with units, typed cells) plus
+// metadata (seed, quick mode, wall time) — and the emitters render it
+// as fixed-width text (byte-identical to the historical tables), JSON,
+// or CSV. The golden corpus under testdata/golden pins the quick-mode
+// JSON/CSV/text output of every experiment; see scripts/golden.sh.
+type (
+	// ExperimentResult is one experiment's structured output.
+	ExperimentResult = results.Result
+	// ExperimentTable is one typed table of a result.
+	ExperimentTable = results.Table
+	// ExperimentColumn describes one typed, unit-annotated column.
+	ExperimentColumn = results.Column
+	// ExperimentRunner is one catalogue entry (name, description, runner).
+	ExperimentRunner = experiments.Runner
+	// RunOptions configures a catalogue runner invocation.
+	RunOptions = experiments.Options
+	// ResultFormat selects an emitter (FormatText, FormatJSON, FormatCSV).
+	ResultFormat = results.Format
+)
+
+// Emitter formats.
+const (
+	FormatText = results.FormatText
+	FormatJSON = results.FormatJSON
+	FormatCSV  = results.FormatCSV
+)
+
+// Catalogue access and emitters.
+var (
+	// Experiments returns the full experiment catalogue in
+	// presentation order.
+	Experiments = experiments.Catalogue
+	// ExperimentNames returns the catalogue names sorted
+	// alphabetically.
+	ExperimentNames = experiments.SuggestNames
+	// FindExperiment resolves a case-insensitive experiment name.
+	FindExperiment = experiments.Find
+	// EmitJSON / EmitJSONAll / EmitCSV / EmitCSVAll serialize results;
+	// DecodeResultJSON parses an EmitJSON document back.
+	EmitJSON          = results.EmitJSON
+	EmitJSONAll       = results.EmitJSONAll
+	EmitCSV           = results.EmitCSV
+	EmitCSVAll        = results.EmitCSVAll
+	DecodeResultJSON  = results.DecodeJSON
+	ParseResultFormat = results.ParseFormat
 )
 
 // Parallel execution engine. Every sweep-shaped runner fans out over a
@@ -266,4 +315,30 @@ var (
 	RenderContention      = experiments.RenderContention
 	RenderOverlap         = experiments.RenderOverlap
 	RenderSDC             = experiments.RenderSDC
+)
+
+// Structured-table builders: the typed layer behind the Render
+// helpers. Each returns results.Table(s) carrying units and raw values
+// alongside the display text.
+var (
+	Table1Result           = experiments.Table1Result
+	Table2Result           = experiments.Table2Result
+	Table3Result           = experiments.Table3Result
+	Table4Result           = experiments.Table4Result
+	Table5Result           = experiments.Table5Result
+	Figure5Result          = experiments.Figure5Result
+	Figure6Result          = experiments.Figure6Result
+	Figure7Result          = experiments.Figure7Result
+	Figure8Result          = experiments.Figure8Result
+	InferenceLimitsResult  = experiments.InferenceLimitsResult
+	MTPResultTables        = experiments.MTPResultTables
+	LocalDeploymentResult  = experiments.LocalDeploymentResult
+	FP8AccuracyResultTable = experiments.FP8AccuracyResultTable
+	AccumulationResult     = experiments.AccumulationAblationResult
+	LogFMTResult           = experiments.LogFMTAccuracyResult
+	NodeLimitedResult      = experiments.NodeLimitedRoutingResult
+	PlaneFailureResult     = experiments.PlaneFailureResult
+	OverlapResult          = experiments.OverlapAblationResult
+	ContentionResult       = experiments.BandwidthContentionResult
+	SDCResultTable         = experiments.SDCDetectionResult
 )

@@ -1,3 +1,3 @@
 module dsv3
 
-go 1.24
+go 1.23

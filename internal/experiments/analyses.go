@@ -1,9 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-	"math/rand"
-
 	"dsv3/internal/cluster"
 	"dsv3/internal/fp8train"
 	"dsv3/internal/gemm"
@@ -13,10 +10,11 @@ import (
 	"dsv3/internal/mtp"
 	"dsv3/internal/parallel"
 	"dsv3/internal/quant"
+	"dsv3/internal/results"
 	"dsv3/internal/stats"
-	"dsv3/internal/tablefmt"
 	"dsv3/internal/trainsim"
 	"dsv3/internal/units"
+	"math/rand"
 )
 
 // Table4Paper holds the paper's MPFT/MRFT measurements.
@@ -55,40 +53,62 @@ func Table4() (mpft, mrft trainsim.Metrics, err error) {
 	return cols[0], cols[1], nil
 }
 
+// Table4Result returns the training metric comparison as a structured
+// table (metric-major, one column per fabric plus the paper reference).
+func Table4Result() (*results.Table, error) {
+	mpft, mrft, err := Table4()
+	if err != nil {
+		return nil, err
+	}
+	paper := PaperTable4MPFT()
+	t := results.NewTable("Table 4: training metrics, MPFT vs MRFT (simulated | paper MPFT)",
+		results.C("Metric"), results.C("MPFT"), results.C("MRFT"), results.C("paper"))
+	row := func(name, format string, a, b, p float64) {
+		t.Row(results.Str(name), results.Float(format, a), results.Float(format, b), results.Float(format, p))
+	}
+	row("tokens/day (B)", "%.2f", mpft.TokensPerDay/1e9, mrft.TokensPerDay/1e9, paper.TokensPerDay/1e9)
+	row("time/step (s)", "%.3f", mpft.TimePerStep, mrft.TimePerStep, paper.TimePerStep)
+	row("1F (s)", "%.2f", mpft.Phases.F1, mrft.Phases.F1, paper.F1)
+	row("bubble (s)", "%.2f", mpft.Phases.Bubble, mrft.Phases.Bubble, paper.Bubble)
+	row("1B (s)", "%.2f", mpft.Phases.B1, mrft.Phases.B1, paper.B1)
+	row("1W (s)", "%.2f", mpft.Phases.W1, mrft.Phases.W1, paper.W1)
+	row("1F1B (s)", "%.2f", mpft.Phases.F1B1, mrft.Phases.F1B1, paper.F1B1)
+	row("opt (s)", "%.2f", float64(mpft.OptimizerTime), float64(mrft.OptimizerTime), paper.Opt)
+	row("TFLOPS (non-causal)", "%.0f", mpft.TFLOPSNonCausal/1e12, mrft.TFLOPSNonCausal/1e12, paper.TFLOPSNC)
+	row("TFLOPS (causal)", "%.0f", mpft.TFLOPSCausal/1e12, mrft.TFLOPSCausal/1e12, paper.TFLOPSC)
+	row("MFU (non-causal)", "%.2f%%", mpft.MFUNonCausal*100, mrft.MFUNonCausal*100, paper.MFUNC*100)
+	row("MFU (causal)", "%.2f%%", mpft.MFUCausal*100, mrft.MFUCausal*100, paper.MFUC*100)
+	return t, nil
+}
+
 // RenderTable4 renders the training metric comparison.
 func RenderTable4() (string, error) {
-	mpft, mrft, err := Table4()
+	t, err := Table4Result()
 	if err != nil {
 		return "", err
 	}
-	paper := PaperTable4MPFT()
-	t := tablefmt.New("Table 4: training metrics, MPFT vs MRFT (simulated | paper MPFT)",
-		"Metric", "MPFT", "MRFT", "paper")
-	t.AddRow("tokens/day (B)", fmt.Sprintf("%.2f", mpft.TokensPerDay/1e9), fmt.Sprintf("%.2f", mrft.TokensPerDay/1e9), fmt.Sprintf("%.2f", paper.TokensPerDay/1e9))
-	t.AddRow("time/step (s)", fmt.Sprintf("%.3f", mpft.TimePerStep), fmt.Sprintf("%.3f", mrft.TimePerStep), fmt.Sprintf("%.3f", paper.TimePerStep))
-	t.AddRow("1F (s)", fmt.Sprintf("%.2f", mpft.Phases.F1), fmt.Sprintf("%.2f", mrft.Phases.F1), fmt.Sprintf("%.2f", paper.F1))
-	t.AddRow("bubble (s)", fmt.Sprintf("%.2f", mpft.Phases.Bubble), fmt.Sprintf("%.2f", mrft.Phases.Bubble), fmt.Sprintf("%.2f", paper.Bubble))
-	t.AddRow("1B (s)", fmt.Sprintf("%.2f", mpft.Phases.B1), fmt.Sprintf("%.2f", mrft.Phases.B1), fmt.Sprintf("%.2f", paper.B1))
-	t.AddRow("1W (s)", fmt.Sprintf("%.2f", mpft.Phases.W1), fmt.Sprintf("%.2f", mrft.Phases.W1), fmt.Sprintf("%.2f", paper.W1))
-	t.AddRow("1F1B (s)", fmt.Sprintf("%.2f", mpft.Phases.F1B1), fmt.Sprintf("%.2f", mrft.Phases.F1B1), fmt.Sprintf("%.2f", paper.F1B1))
-	t.AddRow("opt (s)", fmt.Sprintf("%.2f", float64(mpft.OptimizerTime)), fmt.Sprintf("%.2f", float64(mrft.OptimizerTime)), fmt.Sprintf("%.2f", paper.Opt))
-	t.AddRow("TFLOPS (non-causal)", fmt.Sprintf("%.0f", mpft.TFLOPSNonCausal/1e12), fmt.Sprintf("%.0f", mrft.TFLOPSNonCausal/1e12), fmt.Sprintf("%.0f", paper.TFLOPSNC))
-	t.AddRow("TFLOPS (causal)", fmt.Sprintf("%.0f", mpft.TFLOPSCausal/1e12), fmt.Sprintf("%.0f", mrft.TFLOPSCausal/1e12), fmt.Sprintf("%.0f", paper.TFLOPSC))
-	t.AddRow("MFU (non-causal)", fmt.Sprintf("%.2f%%", mpft.MFUNonCausal*100), fmt.Sprintf("%.2f%%", mrft.MFUNonCausal*100), fmt.Sprintf("%.2f%%", paper.MFUNC*100))
-	t.AddRow("MFU (causal)", fmt.Sprintf("%.2f%%", mpft.MFUCausal*100), fmt.Sprintf("%.2f%%", mrft.MFUCausal*100), fmt.Sprintf("%.2f%%", paper.MFUC*100))
-	return t.String(), nil
+	return t.Text(), nil
+}
+
+// Table5Result returns the link-layer latency comparison. Cell values
+// are seconds; the text keeps the human-scaled formatting.
+func Table5Result() *results.Table {
+	p := cluster.DefaultLatencyParams()
+	sec := func(s units.Seconds) results.Cell { return results.Val(units.FormatSeconds(s), float64(s)) }
+	t := results.NewTable("Table 5: CPU-side end-to-end latency, 64 B transfer",
+		results.C("Link layer"), results.CU("Same leaf", "s"), results.CU("Cross leaf", "s"),
+		results.CU("paper same", "s"), results.CU("paper cross", "s"))
+	t.Row(results.Str("RoCE"), sec(p.EndToEnd(cluster.RoCE, true)), sec(p.EndToEnd(cluster.RoCE, false)),
+		results.Val("3.60us", 3.60e-6), results.Val("5.60us", 5.60e-6))
+	t.Row(results.Str("InfiniBand"), sec(p.EndToEnd(cluster.IB, true)), sec(p.EndToEnd(cluster.IB, false)),
+		results.Val("2.80us", 2.80e-6), results.Val("3.70us", 3.70e-6))
+	t.Row(results.Str("NVLink"), sec(p.EndToEnd(cluster.NVLink, true)), results.NA(),
+		results.Val("3.33us", 3.33e-6), results.NA())
+	return t
 }
 
 // RenderTable5 renders the link-layer latency comparison.
-func RenderTable5() string {
-	p := cluster.DefaultLatencyParams()
-	t := tablefmt.New("Table 5: CPU-side end-to-end latency, 64 B transfer",
-		"Link layer", "Same leaf", "Cross leaf", "paper same", "paper cross")
-	t.AddRow("RoCE", units.FormatSeconds(p.EndToEnd(cluster.RoCE, true)), units.FormatSeconds(p.EndToEnd(cluster.RoCE, false)), "3.60us", "5.60us")
-	t.AddRow("InfiniBand", units.FormatSeconds(p.EndToEnd(cluster.IB, true)), units.FormatSeconds(p.EndToEnd(cluster.IB, false)), "2.80us", "3.70us")
-	t.AddRow("NVLink", units.FormatSeconds(p.EndToEnd(cluster.NVLink, true)), "-", "3.33us", "-")
-	return t.String()
-}
+func RenderTable5() string { return Table5Result().Text() }
 
 // InferenceLimitsRow is one interconnect of the §2.3.2 analysis.
 type InferenceLimitsRow struct {
@@ -123,18 +143,31 @@ func InferenceLimits() ([]InferenceLimitsRow, error) {
 	return rows, nil
 }
 
+// InferenceLimitsResult returns §2.3.2 as a structured table.
+func InferenceLimitsResult() (*results.Table, error) {
+	rows, err := InferenceLimits()
+	if err != nil {
+		return nil, err
+	}
+	t := results.NewTable("§2.3.2: EP inference speed limits (paper: 120.96us/14.76ms/67 TPS IB; 6.72us/0.82ms/~1200 TPS NVL72)",
+		results.C("Interconnect"), results.CU("Comm/step", "s"), results.CU("TPOT", "s"),
+		results.CU("TPS", "tokens/s"))
+	for _, r := range rows {
+		t.Row(results.Str(r.Interconnect),
+			results.Val(units.FormatSeconds(r.CommTime), float64(r.CommTime)),
+			results.Val(units.FormatSeconds(r.TPOT), float64(r.TPOT)),
+			results.Float("%.0f", r.TPS))
+	}
+	return t, nil
+}
+
 // RenderInferenceLimits renders §2.3.2 with paper references.
 func RenderInferenceLimits() (string, error) {
-	rows, err := InferenceLimits()
+	t, err := InferenceLimitsResult()
 	if err != nil {
 		return "", err
 	}
-	t := tablefmt.New("§2.3.2: EP inference speed limits (paper: 120.96us/14.76ms/67 TPS IB; 6.72us/0.82ms/~1200 TPS NVL72)",
-		"Interconnect", "Comm/step", "TPOT", "TPS")
-	for _, r := range rows {
-		t.AddRow(r.Interconnect, units.FormatSeconds(r.CommTime), units.FormatSeconds(r.TPOT), fmt.Sprintf("%.0f", r.TPS))
-	}
-	return t.String(), nil
+	return t.Text(), nil
 }
 
 // MTPResult reports §2.3.3.
@@ -153,24 +186,34 @@ func MTPSpeedup(seed int64) (MTPResult, error) {
 	return MTPResult{Analytic: cfg.ExpectedSpeedup(), Simulated: sim.Speedup}, nil
 }
 
+// MTPResultTables returns §2.3.3 as structured tables: the headline
+// speedups plus the depth/acceptance extension sweep.
+func MTPResultTables(seed int64) ([]*results.Table, error) {
+	r, err := MTPSpeedup(seed)
+	if err != nil {
+		return nil, err
+	}
+	t := results.NewTable("§2.3.3: MTP speculative decoding (paper: 80-90% acceptance -> 1.8x TPS)",
+		results.C("Quantity"), results.C("Value"))
+	t.Row(results.Str("analytic speedup"), results.Float("%.3fx", r.Analytic))
+	t.Row(results.Str("simulated speedup"), results.Float("%.3fx", r.Simulated))
+	sweep := results.NewTable("Extension: MTP depth x acceptance sweep (analytic)",
+		results.C("Modules"), results.C("p=0.75"), results.C("p=0.85"), results.C("p=0.95"))
+	for _, d := range []int{1, 2, 3, 4} {
+		pts := mtp.Sweep([]int{d}, []float64{0.75, 0.85, 0.95}, 1.0/61, 0.03)
+		sweep.Row(results.Int(d), results.Float("%.2fx", pts[0].Speedup),
+			results.Float("%.2fx", pts[1].Speedup), results.Float("%.2fx", pts[2].Speedup))
+	}
+	return []*results.Table{t, sweep}, nil
+}
+
 // RenderMTP renders the MTP result plus the depth/acceptance sweep.
 func RenderMTP(seed int64) (string, error) {
-	r, err := MTPSpeedup(seed)
+	tables, err := MTPResultTables(seed)
 	if err != nil {
 		return "", err
 	}
-	t := tablefmt.New("§2.3.3: MTP speculative decoding (paper: 80-90% acceptance -> 1.8x TPS)",
-		"Quantity", "Value")
-	t.AddRow("analytic speedup", fmt.Sprintf("%.3fx", r.Analytic))
-	t.AddRow("simulated speedup", fmt.Sprintf("%.3fx", r.Simulated))
-	s := t.String() + "\n"
-	sweep := tablefmt.New("Extension: MTP depth x acceptance sweep (analytic)",
-		"Modules", "p=0.75", "p=0.85", "p=0.95")
-	for _, d := range []int{1, 2, 3, 4} {
-		pts := mtp.Sweep([]int{d}, []float64{0.75, 0.85, 0.95}, 1.0/61, 0.03)
-		sweep.AddRow(d, fmt.Sprintf("%.2fx", pts[0].Speedup), fmt.Sprintf("%.2fx", pts[1].Speedup), fmt.Sprintf("%.2fx", pts[2].Speedup))
-	}
-	return s + sweep.String(), nil
+	return tables[0].Text() + "\n" + tables[1].Text(), nil
 }
 
 // FP8AccuracyResult reports the §2.4 toy-training validation.
@@ -195,18 +238,27 @@ func FP8Accuracy() (FP8AccuracyResult, error) {
 	}, nil
 }
 
+// FP8AccuracyResultTable returns §2.4 as a structured table.
+func FP8AccuracyResultTable() (*results.Table, error) {
+	r, err := FP8Accuracy()
+	if err != nil {
+		return nil, err
+	}
+	t := results.NewTable("§2.4/§3.1: FP8 training accuracy at toy scale (paper: relative loss vs BF16 < 0.25%)",
+		results.C("Precision"), results.C("Final loss"), results.CU("Gap vs BF16", "%"))
+	t.Row(results.Str("BF16"), results.Float("%.6f", r.BF16Loss), results.NA())
+	t.Row(results.Str("FP8 fine-grained + promoted"), results.Float("%.6f", r.FP8FineLoss), results.Float("%.3f%%", r.FineGapPct))
+	t.Row(results.Str("FP8 per-tensor, no promotion"), results.Float("%.6f", r.FP8CoarseLoss), results.Float("%.3f%%", r.CoarseGapPct))
+	return t, nil
+}
+
 // RenderFP8Accuracy renders §2.4.
 func RenderFP8Accuracy() (string, error) {
-	r, err := FP8Accuracy()
+	t, err := FP8AccuracyResultTable()
 	if err != nil {
 		return "", err
 	}
-	t := tablefmt.New("§2.4/§3.1: FP8 training accuracy at toy scale (paper: relative loss vs BF16 < 0.25%)",
-		"Precision", "Final loss", "Gap vs BF16")
-	t.AddRow("BF16", fmt.Sprintf("%.6f", r.BF16Loss), "-")
-	t.AddRow("FP8 fine-grained + promoted", fmt.Sprintf("%.6f", r.FP8FineLoss), fmt.Sprintf("%.3f%%", r.FineGapPct))
-	t.AddRow("FP8 per-tensor, no promotion", fmt.Sprintf("%.6f", r.FP8CoarseLoss), fmt.Sprintf("%.3f%%", r.CoarseGapPct))
-	return t.String(), nil
+	return t.Text(), nil
 }
 
 // AccumulationRow is one accumulator configuration of the §3.1.1 sweep.
@@ -250,18 +302,27 @@ func AccumulationAblation(seed int64) ([]AccumulationRow, error) {
 	})
 }
 
+// AccumulationAblationResult returns §3.1.1 as a structured table.
+func AccumulationAblationResult(seed int64) (*results.Table, error) {
+	rows, err := AccumulationAblation(seed)
+	if err != nil {
+		return nil, err
+	}
+	t := results.NewTable("§3.1.1: accumulation precision ablation (K=8192 FP8 GEMM, exact inputs)",
+		results.C("Accumulator"), results.C("RMS rel error"))
+	for _, r := range rows {
+		t.Row(results.Str(r.Name), results.Float("%.2e", r.RelError))
+	}
+	return t, nil
+}
+
 // RenderAccumulationAblation renders §3.1.1.
 func RenderAccumulationAblation(seed int64) (string, error) {
-	rows, err := AccumulationAblation(seed)
+	t, err := AccumulationAblationResult(seed)
 	if err != nil {
 		return "", err
 	}
-	t := tablefmt.New("§3.1.1: accumulation precision ablation (K=8192 FP8 GEMM, exact inputs)",
-		"Accumulator", "RMS rel error")
-	for _, r := range rows {
-		t.AddRow(r.Name, fmt.Sprintf("%.2e", r.RelError))
-	}
-	return t.String(), nil
+	return t.Text(), nil
 }
 
 // LogFMTRow is one format of the §3.2 comparison.
@@ -318,18 +379,27 @@ func LogFMTAccuracy(seed int64) ([]LogFMTRow, error) {
 	})
 }
 
+// LogFMTAccuracyResult returns §3.2 as a structured table.
+func LogFMTAccuracyResult(seed int64) (*results.Table, error) {
+	rows, err := LogFMTAccuracy(seed)
+	if err != nil {
+		return nil, err
+	}
+	t := results.NewTable("§3.2: LogFMT vs FP8/BF16 on 1x128 gaussian activation tiles (paper: LogFMT-8 beats E4M3/E5M2; LogFMT-10 ~ BF16 combine)",
+		results.C("Format"), results.CU("Mean SNR (dB)", "dB"))
+	for _, r := range rows {
+		t.Row(results.Str(r.Format), results.Float("%.2f", r.SNRdB))
+	}
+	return t, nil
+}
+
 // RenderLogFMT renders §3.2.
 func RenderLogFMT(seed int64) (string, error) {
-	rows, err := LogFMTAccuracy(seed)
+	t, err := LogFMTAccuracyResult(seed)
 	if err != nil {
 		return "", err
 	}
-	t := tablefmt.New("§3.2: LogFMT vs FP8/BF16 on 1x128 gaussian activation tiles (paper: LogFMT-8 beats E4M3/E5M2; LogFMT-10 ~ BF16 combine)",
-		"Format", "Mean SNR (dB)")
-	for _, r := range rows {
-		t.AddRow(r.Format, fmt.Sprintf("%.2f", r.SNRdB))
-	}
-	return t.String(), nil
+	return t.Text(), nil
 }
 
 // NodeLimitedRow is one gate configuration of the §4.3 study.
@@ -367,16 +437,26 @@ func NodeLimitedRouting(seed int64) ([]NodeLimitedRow, error) {
 	})
 }
 
+// NodeLimitedRoutingResult returns §4.3 as a structured table.
+func NodeLimitedRoutingResult(seed int64) (*results.Table, error) {
+	rows, err := NodeLimitedRouting(seed)
+	if err != nil {
+		return nil, err
+	}
+	t := results.NewTable("§4.3: node-limited routing — deduplicated IB cost factor M (paper: M <= 4 vs up to 8)",
+		results.C("Gate"), results.C("E[M]"), results.C("E[remote]"), results.C("max M"))
+	for _, r := range rows {
+		t.Row(results.Str(r.Gate), results.Float("%.2f", r.MeanNodes),
+			results.Float("%.2f", r.MeanRemoteNodes), results.Int(r.MaxNodes))
+	}
+	return t, nil
+}
+
 // RenderNodeLimited renders §4.3.
 func RenderNodeLimited(seed int64) (string, error) {
-	rows, err := NodeLimitedRouting(seed)
+	t, err := NodeLimitedRoutingResult(seed)
 	if err != nil {
 		return "", err
 	}
-	t := tablefmt.New("§4.3: node-limited routing — deduplicated IB cost factor M (paper: M <= 4 vs up to 8)",
-		"Gate", "E[M]", "E[remote]", "max M")
-	for _, r := range rows {
-		t.AddRow(r.Gate, fmt.Sprintf("%.2f", r.MeanNodes), fmt.Sprintf("%.2f", r.MeanRemoteNodes), r.MaxNodes)
-	}
-	return t.String(), nil
+	return t.Text(), nil
 }

@@ -9,10 +9,8 @@
 package experiments
 
 import (
-	"fmt"
-
 	"dsv3/internal/model"
-	"dsv3/internal/tablefmt"
+	"dsv3/internal/results"
 	"dsv3/internal/topology"
 )
 
@@ -51,16 +49,20 @@ func Table1() []Table1Row {
 	return rows
 }
 
-// RenderTable1 renders Table 1 with paper references.
-func RenderTable1() string {
-	t := tablefmt.New("Table 1: KV cache per token (BF16)",
-		"Model", "KB/token", "Mult", "paper KB", "paper mult")
+// Table1Result returns Table 1 as a structured table.
+func Table1Result() *results.Table {
+	t := results.NewTable("Table 1: KV cache per token (BF16)",
+		results.C("Model"), results.CU("KB/token", "KB"), results.C("Mult"),
+		results.CU("paper KB", "KB"), results.C("paper mult"))
 	for _, r := range Table1() {
-		t.AddRow(r.Model, fmt.Sprintf("%.3f", r.KVCacheKB), fmt.Sprintf("%.2fx", r.Multiplier),
-			fmt.Sprintf("%.3f", r.PaperKB), fmt.Sprintf("%.2fx", r.PaperMult))
+		t.Row(results.Str(r.Model), results.Float("%.3f", r.KVCacheKB), results.Float("%.2fx", r.Multiplier),
+			results.Float("%.3f", r.PaperKB), results.Float("%.2fx", r.PaperMult))
 	}
-	return t.String()
+	return t
 }
+
+// RenderTable1 renders Table 1 with paper references.
+func RenderTable1() string { return Table1Result().Text() }
 
 // Table2Row is one model's training cost.
 type Table2Row struct {
@@ -94,15 +96,20 @@ func Table2() []Table2Row {
 	return out
 }
 
-// RenderTable2 renders Table 2 with paper references.
-func RenderTable2() string {
-	t := tablefmt.New("Table 2: training cost per token (seq 4096, causal)",
-		"Model", "Size", "GFLOPs/token", "paper")
+// Table2Result returns Table 2 as a structured table.
+func Table2Result() *results.Table {
+	t := results.NewTable("Table 2: training cost per token (seq 4096, causal)",
+		results.C("Model"), results.C("Size"), results.CU("GFLOPs/token", "GFLOPs"),
+		results.CU("paper", "GFLOPs"))
 	for _, r := range Table2() {
-		t.AddRow(r.Model, r.Size, fmt.Sprintf("%.0f", r.GFLOPsPerToken), fmt.Sprintf("%.0f", r.Paper))
+		t.Row(results.Str(r.Model), results.Str(r.Size),
+			results.Float("%.0f", r.GFLOPsPerToken), results.Float("%.0f", r.Paper))
 	}
-	return t.String()
+	return t
 }
+
+// RenderTable2 renders Table 2 with paper references.
+func RenderTable2() string { return Table2Result().Text() }
 
 // Table3Row is one topology's cost breakdown.
 type Table3Row struct {
@@ -135,29 +142,41 @@ func Table3() ([]Table3Row, error) {
 	return rows, nil
 }
 
-// RenderTable3 renders Table 3 with paper references.
-func RenderTable3() (string, error) {
+// Table3Result returns Table 3 as a structured table. The table is
+// metric-major (one row per metric, one column per topology), matching
+// the paper's layout.
+func Table3Result() (*results.Table, error) {
 	rows, err := Table3()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	t := tablefmt.New("Table 3: network topology cost comparison",
-		"Metric", "FT2", "MPFT", "FT3", "SF", "DF")
-	add := func(name string, f func(Table3Row) string) {
-		cells := []any{name}
+	t := results.NewTable("Table 3: network topology cost comparison",
+		results.C("Metric"), results.C("FT2"), results.C("MPFT"),
+		results.C("FT3"), results.C("SF"), results.C("DF"))
+	add := func(name string, f func(Table3Row) results.Cell) {
+		cells := []results.Cell{results.Str(name)}
 		for _, r := range rows {
 			cells = append(cells, f(r))
 		}
-		t.AddRow(cells...)
+		t.Row(cells...)
 	}
-	add("Endpoints", func(r Table3Row) string { return fmt.Sprint(r.Endpoints) })
-	add("Switches", func(r Table3Row) string { return fmt.Sprint(r.Switches) })
-	add("Links", func(r Table3Row) string { return fmt.Sprint(r.InterSwitchLinks) })
-	add("Cost [M$]", func(r Table3Row) string { return fmt.Sprintf("%.0f", r.CostMDollar) })
-	add("paper [M$]", func(r Table3Row) string { return fmt.Sprintf("%.0f", r.PaperCostM) })
-	add("Cost/EP [k$]", func(r Table3Row) string { return fmt.Sprintf("%.2f", r.CostPerEndpoint/1e3) })
-	add("paper [k$]", func(r Table3Row) string { return fmt.Sprintf("%.2f", r.PaperPerEp/1e3) })
-	return t.String(), nil
+	add("Endpoints", func(r Table3Row) results.Cell { return results.Int(r.Endpoints) })
+	add("Switches", func(r Table3Row) results.Cell { return results.Int(r.Switches) })
+	add("Links", func(r Table3Row) results.Cell { return results.Int(r.InterSwitchLinks) })
+	add("Cost [M$]", func(r Table3Row) results.Cell { return results.Float("%.0f", r.CostMDollar) })
+	add("paper [M$]", func(r Table3Row) results.Cell { return results.Float("%.0f", r.PaperCostM) })
+	add("Cost/EP [k$]", func(r Table3Row) results.Cell { return results.Float("%.2f", r.CostPerEndpoint/1e3) })
+	add("paper [k$]", func(r Table3Row) results.Cell { return results.Float("%.2f", r.PaperPerEp/1e3) })
+	return t, nil
+}
+
+// RenderTable3 renders Table 3 with paper references.
+func RenderTable3() (string, error) {
+	t, err := Table3Result()
+	if err != nil {
+		return "", err
+	}
+	return t.Text(), nil
 }
 
 // LocalDeploymentRow is one §2.2.2 scenario.
@@ -179,12 +198,15 @@ func LocalDeployment() []LocalDeploymentRow {
 	return rows
 }
 
-// RenderLocalDeployment renders the §2.2.2 scenario table.
-func RenderLocalDeployment() string {
-	t := tablefmt.New("§2.2.2: local deployment decode roofline (paper: ~20 TPS MoE, single-digit dense)",
-		"Deployment", "Model", "TPS")
+// LocalDeploymentResult returns the §2.2.2 scenario table.
+func LocalDeploymentResult() *results.Table {
+	t := results.NewTable("§2.2.2: local deployment decode roofline (paper: ~20 TPS MoE, single-digit dense)",
+		results.C("Deployment"), results.C("Model"), results.CU("TPS", "tokens/s"))
 	for _, r := range LocalDeployment() {
-		t.AddRow(r.Deployment, r.Model, fmt.Sprintf("%.1f", r.TPS))
+		t.Row(results.Str(r.Deployment), results.Str(r.Model), results.Float("%.1f", r.TPS))
 	}
-	return t.String()
+	return t
 }
+
+// RenderLocalDeployment renders the §2.2.2 scenario table.
+func RenderLocalDeployment() string { return LocalDeploymentResult().Text() }

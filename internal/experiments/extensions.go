@@ -1,14 +1,12 @@
 package experiments
 
 import (
-	"fmt"
-	"math/rand"
-
 	"dsv3/internal/gemm"
 	"dsv3/internal/inference"
 	"dsv3/internal/quant"
-	"dsv3/internal/tablefmt"
+	"dsv3/internal/results"
 	"dsv3/internal/units"
+	"math/rand"
 )
 
 // ContentionRow is one KV-transfer-rate point of the §4.5 study.
@@ -47,19 +45,30 @@ func BandwidthContention() ([]ContentionRow, error) {
 	return rows, nil
 }
 
+// BandwidthContentionResult returns §4.5 as a structured table.
+func BandwidthContentionResult() (*results.Table, error) {
+	rows, err := BandwidthContention()
+	if err != nil {
+		return nil, err
+	}
+	t := results.NewTable("§4.5: PCIe contention between KV-cache transfers and EP traffic (64 GB/s PCIe 5.0)",
+		results.CU("KV fetch rate", "B/s"), results.CU("TPOT (fair sharing)", "s"),
+		results.CU("TPOT (EP prioritized)", "s"))
+	for _, r := range rows {
+		t.Row(results.Val(units.FormatBandwidth(r.KVRate), float64(r.KVRate)),
+			results.Val(units.FormatSeconds(r.TPOTFairSharing), float64(r.TPOTFairSharing)),
+			results.Val(units.FormatSeconds(r.TPOTPrioritized), float64(r.TPOTPrioritized)))
+	}
+	return t, nil
+}
+
 // RenderContention renders §4.5.
 func RenderContention() (string, error) {
-	rows, err := BandwidthContention()
+	t, err := BandwidthContentionResult()
 	if err != nil {
 		return "", err
 	}
-	t := tablefmt.New("§4.5: PCIe contention between KV-cache transfers and EP traffic (64 GB/s PCIe 5.0)",
-		"KV fetch rate", "TPOT (fair sharing)", "TPOT (EP prioritized)")
-	for _, r := range rows {
-		t.AddRow(units.FormatBandwidth(r.KVRate), units.FormatSeconds(r.TPOTFairSharing),
-			units.FormatSeconds(r.TPOTPrioritized))
-	}
-	return t.String(), nil
+	return t.Text(), nil
 }
 
 // OverlapRow is one compute:comm ratio of the §2.3.1 ablation.
@@ -84,18 +93,27 @@ func OverlapAblation() ([]OverlapRow, error) {
 	return rows, nil
 }
 
+// OverlapAblationResult returns §2.3.1 as a structured table.
+func OverlapAblationResult() (*results.Table, error) {
+	rows, err := OverlapAblation()
+	if err != nil {
+		return nil, err
+	}
+	t := results.NewTable("§2.3.1: dual micro-batch overlap vs serial execution (peak 2x at compute = 2x comm)",
+		results.C("compute/comm"), results.C("speedup"))
+	for _, r := range rows {
+		t.Row(results.Float("%.1f", r.ComputeCommRatio), results.Float("%.2fx", r.Speedup))
+	}
+	return t, nil
+}
+
 // RenderOverlap renders §2.3.1.
 func RenderOverlap() (string, error) {
-	rows, err := OverlapAblation()
+	t, err := OverlapAblationResult()
 	if err != nil {
 		return "", err
 	}
-	t := tablefmt.New("§2.3.1: dual micro-batch overlap vs serial execution (peak 2x at compute = 2x comm)",
-		"compute/comm", "speedup")
-	for _, r := range rows {
-		t.AddRow(fmt.Sprintf("%.1f", r.ComputeCommRatio), fmt.Sprintf("%.2fx", r.Speedup))
-	}
-	return t.String(), nil
+	return t.Text(), nil
 }
 
 // SDCResult reports the §6.1.2 checksum-validation demo.
@@ -133,16 +151,25 @@ func SDCDetection(seed int64) (SDCResult, error) {
 	return res, nil
 }
 
+// SDCDetectionResult returns §6.1.2 as a structured table.
+func SDCDetectionResult(seed int64) (*results.Table, error) {
+	r, err := SDCDetection(seed)
+	if err != nil {
+		return nil, err
+	}
+	t := results.NewTable("§6.1.2: checksum-based SDC detection (Freivalds verification of FP8 GEMMs)",
+		results.C("Quantity"), results.C("Value"))
+	t.Row(results.Str("clean FP8 GEMM verifies"), results.Bool(r.CleanVerified))
+	t.Row(results.Str("injected corruptions"), results.Int(r.FaultsInjected))
+	t.Row(results.Str("corruptions detected"), results.Int(r.FaultsCaught))
+	return t, nil
+}
+
 // RenderSDC renders §6.1.2.
 func RenderSDC(seed int64) (string, error) {
-	r, err := SDCDetection(seed)
+	t, err := SDCDetectionResult(seed)
 	if err != nil {
 		return "", err
 	}
-	t := tablefmt.New("§6.1.2: checksum-based SDC detection (Freivalds verification of FP8 GEMMs)",
-		"Quantity", "Value")
-	t.AddRow("clean FP8 GEMM verifies", fmt.Sprint(r.CleanVerified))
-	t.AddRow("injected corruptions", r.FaultsInjected)
-	t.AddRow("corruptions detected", r.FaultsCaught)
-	return t.String(), nil
+	return t.Text(), nil
 }

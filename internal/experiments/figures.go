@@ -8,7 +8,7 @@ import (
 	"dsv3/internal/deepep"
 	"dsv3/internal/netsim"
 	"dsv3/internal/parallel"
-	"dsv3/internal/tablefmt"
+	"dsv3/internal/results"
 	"dsv3/internal/topology"
 	"dsv3/internal/units"
 )
@@ -57,22 +57,26 @@ func DefaultFigure5Sizes() []units.Bytes {
 	return []units.Bytes{128 * units.MiB, 512 * units.MiB, 2 * units.GiB, 8 * units.GiB, 16 * units.GiB}
 }
 
-// RenderFigure5 renders the sweep.
-func RenderFigure5(points []Figure5Point) string {
-	t := tablefmt.New("Figure 5: NCCL all-to-all algorithm bandwidth, MPFT vs MRFT (paper: near-identical, up to ~60 GB/s)",
-		"GPUs", "Size", "MPFT GB/s", "MRFT GB/s", "diff%")
+// Figure5Result returns the sweep as a structured table.
+func Figure5Result(points []Figure5Point) *results.Table {
+	t := results.NewTable("Figure 5: NCCL all-to-all algorithm bandwidth, MPFT vs MRFT (paper: near-identical, up to ~60 GB/s)",
+		results.C("GPUs"), results.CU("Size", "B"), results.CU("MPFT GB/s", "GB/s"),
+		results.CU("MRFT GB/s", "GB/s"), results.CU("diff%", "%"))
 	for _, p := range points {
 		diff := 0.0
 		if p.MRFTAlgBW > 0 {
 			diff = (p.MPFTAlgBW - p.MRFTAlgBW) / p.MRFTAlgBW * 100
 		}
-		t.AddRow(p.GPUs, units.FormatBytes(p.Size),
-			fmt.Sprintf("%.1f", p.MPFTAlgBW/units.GB),
-			fmt.Sprintf("%.1f", p.MRFTAlgBW/units.GB),
-			fmt.Sprintf("%+.2f", diff))
+		t.Row(results.Int(p.GPUs), results.Val(units.FormatBytes(p.Size), float64(p.Size)),
+			results.Float("%.1f", p.MPFTAlgBW/units.GB),
+			results.Float("%.1f", p.MRFTAlgBW/units.GB),
+			results.Float("%+.2f", diff))
 	}
-	return t.String()
+	return t
 }
+
+// RenderFigure5 renders the sweep.
+func RenderFigure5(points []Figure5Point) string { return Figure5Result(points).Text() }
 
 // Figure6Point is one message size of the 16-GPU latency comparison.
 type Figure6Point struct {
@@ -118,16 +122,21 @@ func DefaultFigure6Sizes() []units.Bytes {
 	return []units.Bytes{64, 4 * units.KiB, 256 * units.KiB, 16 * units.MiB, 1 * units.GiB, 16 * units.GiB}
 }
 
-// RenderFigure6 renders the latency comparison.
-func RenderFigure6(points []Figure6Point) string {
-	t := tablefmt.New("Figure 6: all-to-all latency on 16 GPUs, MPFT vs MRFT (paper: within ±1.5%)",
-		"Size", "MPFT", "MRFT", "diff%")
+// Figure6Result returns the latency comparison as a structured table.
+func Figure6Result(points []Figure6Point) *results.Table {
+	t := results.NewTable("Figure 6: all-to-all latency on 16 GPUs, MPFT vs MRFT (paper: within ±1.5%)",
+		results.CU("Size", "B"), results.CU("MPFT", "s"), results.CU("MRFT", "s"), results.CU("diff%", "%"))
 	for _, p := range points {
-		t.AddRow(units.FormatBytes(p.Size), units.FormatSeconds(p.MPFTLatency),
-			units.FormatSeconds(p.MRFTLatency), fmt.Sprintf("%+.2f", p.DiffPercent))
+		t.Row(results.Val(units.FormatBytes(p.Size), float64(p.Size)),
+			results.Val(units.FormatSeconds(p.MPFTLatency), float64(p.MPFTLatency)),
+			results.Val(units.FormatSeconds(p.MRFTLatency), float64(p.MRFTLatency)),
+			results.Float("%+.2f", p.DiffPercent))
 	}
-	return t.String()
+	return t
 }
+
+// RenderFigure6 renders the latency comparison.
+func RenderFigure6(points []Figure6Point) string { return Figure6Result(points).Text() }
 
 // Figure7Paper holds the paper's measured DeepEP values (GB/s).
 var Figure7Paper = map[int][2]float64{
@@ -146,18 +155,23 @@ func Figure7() ([]deepep.EPSweepPoint, error) {
 	return deepep.Sweep(cfg, []int{16, 32, 64, 128}, 7)
 }
 
-// RenderFigure7 renders the sweep with the paper's values.
-func RenderFigure7(points []deepep.EPSweepPoint) string {
-	t := tablefmt.New("Figure 7: DeepEP dispatch/combine bandwidth on MPFT (4096 tokens/GPU)",
-		"EP", "dispatch GB/s", "paper", "combine GB/s", "paper")
+// Figure7Result returns the sweep as a structured table with the
+// paper's values beside the measured ones.
+func Figure7Result(points []deepep.EPSweepPoint) *results.Table {
+	t := results.NewTable("Figure 7: DeepEP dispatch/combine bandwidth on MPFT (4096 tokens/GPU)",
+		results.C("EP"), results.CU("dispatch GB/s", "GB/s"), results.CU("paper", "GB/s"),
+		results.CU("combine GB/s", "GB/s"), results.CU("paper", "GB/s"))
 	for _, p := range points {
 		paper := Figure7Paper[p.Ranks]
-		t.AddRow(p.Ranks,
-			fmt.Sprintf("%.2f", p.Dispatch.Bandwidth/units.GB), fmt.Sprintf("%.2f", paper[0]),
-			fmt.Sprintf("%.2f", p.Combine.Bandwidth/units.GB), fmt.Sprintf("%.2f", paper[1]))
+		t.Row(results.Int(p.Ranks),
+			results.Float("%.2f", p.Dispatch.Bandwidth/units.GB), results.Float("%.2f", paper[0]),
+			results.Float("%.2f", p.Combine.Bandwidth/units.GB), results.Float("%.2f", paper[1]))
 	}
-	return t.String()
+	return t
 }
+
+// RenderFigure7 renders the sweep with the paper's values.
+func RenderFigure7(points []deepep.EPSweepPoint) string { return Figure7Result(points).Text() }
 
 // Figure8Point is one (TP, policy) bar.
 type Figure8Point struct {
@@ -213,15 +227,19 @@ func spreadGroups(eps []int, tp int) [][]int {
 	return groups
 }
 
-// RenderFigure8 renders the routing-policy comparison.
-func RenderFigure8(points []Figure8Point) string {
-	t := tablefmt.New("Figure 8: RoCE ring AG/RS aggregate bandwidth by routing policy (paper: AR ≈ Static >> ECMP)",
-		"TP", "Policy", "GB/s")
+// Figure8Result returns the routing-policy comparison as a structured
+// table.
+func Figure8Result(points []Figure8Point) *results.Table {
+	t := results.NewTable("Figure 8: RoCE ring AG/RS aggregate bandwidth by routing policy (paper: AR ≈ Static >> ECMP)",
+		results.C("TP"), results.C("Policy"), results.CU("GB/s", "GB/s"))
 	for _, p := range points {
-		t.AddRow(p.TP, p.Policy.String(), fmt.Sprintf("%.1f", p.BusBW/units.GB))
+		t.Row(results.Int(p.TP), results.Str(p.Policy.String()), results.Float("%.1f", p.BusBW/units.GB))
 	}
-	return t.String()
+	return t
 }
+
+// RenderFigure8 renders the routing-policy comparison.
+func RenderFigure8(points []Figure8Point) string { return Figure8Result(points).Text() }
 
 // PlaneFailureRow is one plane-failure scenario (§5.1.1 robustness).
 type PlaneFailureRow struct {
@@ -301,12 +319,16 @@ func allToAllWithFailedPlanes(c *cluster.Cluster, ranks int, perRank units.Bytes
 	return res.Makespan + opts.LaunchOverhead, nil
 }
 
-// RenderPlaneFailure renders the robustness table.
-func RenderPlaneFailure(rows []PlaneFailureRow) string {
-	t := tablefmt.New("§5.1.1: multi-plane robustness — all-to-all under plane failures (32 GPUs, 1 GiB/rank)",
-		"Failed planes", "Time", "Slowdown")
+// PlaneFailureResult returns the robustness table in structured form.
+func PlaneFailureResult(rows []PlaneFailureRow) *results.Table {
+	t := results.NewTable("§5.1.1: multi-plane robustness — all-to-all under plane failures (32 GPUs, 1 GiB/rank)",
+		results.C("Failed planes"), results.CU("Time", "s"), results.C("Slowdown"))
 	for _, r := range rows {
-		t.AddRow(r.FailedPlanes, units.FormatSeconds(r.Time), fmt.Sprintf("%.2fx", r.Slowdown))
+		t.Row(results.Int(r.FailedPlanes), results.Val(units.FormatSeconds(r.Time), float64(r.Time)),
+			results.Float("%.2fx", r.Slowdown))
 	}
-	return t.String()
+	return t
 }
+
+// RenderPlaneFailure renders the robustness table.
+func RenderPlaneFailure(rows []PlaneFailureRow) string { return PlaneFailureResult(rows).Text() }

@@ -7,10 +7,12 @@ package experiments
 // rendered artifacts byte for byte.
 
 import (
+	"bytes"
 	"testing"
 
 	"dsv3/internal/deepep"
 	"dsv3/internal/parallel"
+	"dsv3/internal/results"
 	"dsv3/internal/units"
 )
 
@@ -85,6 +87,61 @@ func TestParallelSerialParity(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) { assertParity(t, c.f) })
+	}
+}
+
+// The determinism contract extends to every emitter: the structured
+// results (and hence the JSON and text encodings) of every catalogue
+// runner must be byte-identical between serial and parallel execution.
+func TestCatalogueEmitterParity(t *testing.T) {
+	emitJSON := func(t *testing.T, workers int, r Runner) []byte {
+		t.Helper()
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		res, err := r.Run(Options{Quick: true})
+		if err != nil {
+			t.Fatalf("%s workers=%d: %v", r.Name, workers, err)
+		}
+		var buf bytes.Buffer
+		if err := results.EmitJSON(&buf, res); err != nil {
+			t.Fatalf("%s: emit: %v", r.Name, err)
+		}
+		return buf.Bytes()
+	}
+	for _, r := range Catalogue() {
+		t.Run(r.Name, func(t *testing.T) {
+			serial := emitJSON(t, 1, r)
+			par := emitJSON(t, 8, r)
+			if !bytes.Equal(serial, par) {
+				t.Errorf("parallel JSON differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, par)
+			}
+		})
+	}
+}
+
+// Every catalogue result is well-formed: correctly labelled, at least
+// one table, and rectangular rows. (Byte-level text fidelity against
+// the pre-refactor rendering is pinned by the .txt golden corpus.)
+func TestCatalogueStructure(t *testing.T) {
+	for _, r := range Catalogue() {
+		res, err := r.Run(Options{Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if len(res.Tables) == 0 {
+			t.Fatalf("%s: no tables", r.Name)
+		}
+		if res.Experiment != r.Name {
+			t.Errorf("%s: result labelled %q", r.Name, res.Experiment)
+		}
+		for ti, tab := range res.Tables {
+			for ri, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Errorf("%s table %d row %d: %d cells for %d columns",
+						r.Name, ti, ri, len(row), len(tab.Columns))
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,84 @@
+package results
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// EmitCSV writes the result as RFC-4180 CSV. Each table is preceded by
+// `# experiment:` / `# table:` comment lines and a header row; numeric
+// cells are written in canonical shortest round-trip form (the typed
+// value, not the display text), so downstream tooling parses exact
+// values. Multiple tables are separated by a blank line.
+func EmitCSV(w io.Writer, r *Result) error {
+	for ti, t := range r.Tables {
+		if ti > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# experiment: %s\n# table: %s\n", r.Experiment, t.Title); err != nil {
+			return err
+		}
+		cw := csv.NewWriter(w)
+		header := make([]string, len(t.Columns))
+		for i, c := range t.Columns {
+			header[i] = c.Name
+			if c.Unit != "" {
+				header[i] += " [" + c.Unit + "]"
+			}
+		}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		record := make([]string, 0, len(header))
+		for _, row := range t.Rows {
+			record = record[:0]
+			for _, cell := range row {
+				record = append(record, csvValue(cell))
+			}
+			if err := cw.Write(record); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EmitCSVAll concatenates the results' CSV blocks, blank-line separated.
+func EmitCSVAll(w io.Writer, rs []*Result) error {
+	for i, r := range rs {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := EmitCSV(w, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvValue(c Cell) string {
+	switch v := c.Value.(type) {
+	case nil:
+		return ""
+	case string:
+		return v
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	case int:
+		return strconv.Itoa(v)
+	case bool:
+		return strconv.FormatBool(v)
+	default:
+		return fmt.Sprint(v)
+	}
+}

@@ -1,0 +1,147 @@
+package results
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// The JSON document layout. Field order is fixed by the struct
+// definitions, so encoding is deterministic — a requirement of the
+// golden corpus (testdata/golden) that CI diffs byte-for-byte.
+type jsonResult struct {
+	Experiment    string      `json:"experiment"`
+	Description   string      `json:"description,omitempty"`
+	SchemaVersion int         `json:"schema_version"`
+	Seed          int64       `json:"seed,omitempty"`
+	Quick         bool        `json:"quick"`
+	WallMS        float64     `json:"wall_ms,omitempty"`
+	Tables        []jsonTable `json:"tables"`
+}
+
+type jsonTable struct {
+	Title   string       `json:"title"`
+	Columns []jsonColumn `json:"columns"`
+	Rows    [][]any      `json:"rows"`
+}
+
+type jsonColumn struct {
+	Name string `json:"name"`
+	Unit string `json:"unit,omitempty"`
+}
+
+func toJSON(r *Result) jsonResult {
+	out := jsonResult{
+		Experiment:    r.Experiment,
+		Description:   r.Desc,
+		SchemaVersion: SchemaVersion,
+		Seed:          r.Meta.Seed,
+		Quick:         r.Meta.Quick,
+		WallMS:        float64(r.Meta.WallTime) / float64(time.Millisecond),
+		Tables:        make([]jsonTable, 0, len(r.Tables)),
+	}
+	for _, t := range r.Tables {
+		jt := jsonTable{
+			Title:   t.Title,
+			Columns: make([]jsonColumn, 0, len(t.Columns)),
+			Rows:    make([][]any, 0, len(t.Rows)),
+		}
+		for _, c := range t.Columns {
+			jt.Columns = append(jt.Columns, jsonColumn{Name: c.Name, Unit: c.Unit})
+		}
+		for _, row := range t.Rows {
+			vals := make([]any, len(row))
+			for i, c := range row {
+				vals[i] = c.Value
+			}
+			jt.Rows = append(jt.Rows, vals)
+		}
+		out.Tables = append(out.Tables, jt)
+	}
+	return out
+}
+
+// EmitJSON writes the result as an indented JSON document ending in a
+// newline.
+func EmitJSON(w io.Writer, r *Result) error {
+	return encodeJSON(w, toJSON(r))
+}
+
+// EmitJSONAll writes the results as one indented JSON array.
+func EmitJSONAll(w io.Writer, rs []*Result) error {
+	docs := make([]jsonResult, 0, len(rs))
+	for _, r := range rs {
+		docs = append(docs, toJSON(r))
+	}
+	return encodeJSON(w, docs)
+}
+
+func encodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(v)
+}
+
+// DecodeJSON parses a document written by EmitJSON back into a Result.
+// Cell texts are not part of the JSON schema, so decoded cells carry
+// values only — re-encoding a decoded result reproduces the input
+// bytes (the round-trip property the emitter tests assert).
+func DecodeJSON(r io.Reader) (*Result, error) {
+	var doc jsonResult
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("results: decode: %w", err)
+	}
+	if doc.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("results: schema version %d, want %d", doc.SchemaVersion, SchemaVersion)
+	}
+	out := &Result{
+		Experiment: doc.Experiment,
+		Desc:       doc.Description,
+		Meta: Meta{
+			Seed:     doc.Seed,
+			Quick:    doc.Quick,
+			WallTime: time.Duration(math.Round(doc.WallMS * float64(time.Millisecond))),
+		},
+	}
+	for _, jt := range doc.Tables {
+		t := NewTable(jt.Title)
+		for _, c := range jt.Columns {
+			t.Columns = append(t.Columns, Column{Name: c.Name, Unit: c.Unit})
+		}
+		for _, row := range jt.Rows {
+			cells := make([]Cell, len(row))
+			for i, v := range row {
+				cells[i] = Cell{Value: normalizeJSONValue(v)}
+			}
+			t.Rows = append(t.Rows, cells)
+		}
+		out.Tables = append(out.Tables, t)
+	}
+	return out, nil
+}
+
+// normalizeJSONValue maps decoded JSON values onto the cell value
+// types the builders produce: json.Number becomes int when the text
+// has no fraction or exponent, float64 otherwise.
+func normalizeJSONValue(v any) any {
+	n, ok := v.(json.Number)
+	if !ok {
+		return v
+	}
+	if !bytes.ContainsAny([]byte(n.String()), ".eE") {
+		if i, err := n.Int64(); err == nil {
+			return int(i)
+		}
+	}
+	f, err := n.Float64()
+	if err != nil {
+		return n.String()
+	}
+	return f
+}

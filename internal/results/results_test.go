@@ -1,0 +1,195 @@
+package results
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleResult() *Result {
+	t := NewTable("Sample: speeds",
+		C("Name"), CU("BW", "GB/s"), C("Count"), C("OK"), C("Note"))
+	t.Row(Str("alpha"), Float("%.2f", 41.237), Int(3), Bool(true), NA())
+	t.Row(Str("beta,quoted"), Float("%.1fx", 2.5), Int(-1), Bool(false), Val("1KiB", 1024.0))
+	r := New("sample", "emitter test fixture", t).WithSeed(42)
+	r.Meta.Quick = true
+	return r
+}
+
+func TestTextMatchesCellText(t *testing.T) {
+	out := sampleResult().Text()
+	for _, want := range []string{"Sample: speeds", "41.24", "2.5x", "alpha", "1KiB", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Units are metadata, not display: the text header is the bare name.
+	if strings.Contains(out, "GB/s]") {
+		t.Errorf("text output leaked unit annotations:\n%s", out)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := sampleResult()
+	var first bytes.Buffer
+	if err := EmitJSON(&first, r); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeJSON(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := EmitJSON(&second, dec); err != nil {
+		t.Fatal(err)
+	}
+	if first.Len() == 0 || first.String() != second.String() {
+		t.Errorf("encode/decode/encode not a fixed point:\n--- first ---\n%s--- second ---\n%s", first.String(), second.String())
+	}
+}
+
+func TestJSONRoundTripPreservesTypesAndMeta(t *testing.T) {
+	r := sampleResult()
+	// Not an integral number of milliseconds: the decode must round,
+	// not truncate, to land back on the original duration.
+	r.Meta.WallTime = 1234567 * time.Nanosecond
+	var buf bytes.Buffer
+	if err := EmitJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Experiment != "sample" || dec.Desc != "emitter test fixture" {
+		t.Errorf("identity lost: %+v", dec)
+	}
+	if dec.Meta.Seed != 42 || !dec.Meta.Quick || dec.Meta.WallTime != 1234567*time.Nanosecond {
+		t.Errorf("meta lost: %+v", dec.Meta)
+	}
+	row := dec.Tables[0].Rows[0]
+	if _, ok := row[0].Value.(string); !ok {
+		t.Errorf("string cell decoded as %T", row[0].Value)
+	}
+	if v, ok := row[1].Value.(float64); !ok || v != 41.237 {
+		t.Errorf("float cell decoded as %T %v", row[1].Value, row[1].Value)
+	}
+	if v, ok := row[2].Value.(int); !ok || v != 3 {
+		t.Errorf("int cell decoded as %T %v", row[2].Value, row[2].Value)
+	}
+	if v, ok := row[3].Value.(bool); !ok || !v {
+		t.Errorf("bool cell decoded as %T %v", row[3].Value, row[3].Value)
+	}
+	if row[4].Value != nil {
+		t.Errorf("NA cell decoded as %T %v", row[4].Value, row[4].Value)
+	}
+}
+
+// Column names and units are API surface consumed by downstream
+// tooling; they must survive the round trip exactly.
+func TestJSONColumnAndUnitStability(t *testing.T) {
+	r := sampleResult()
+	var buf bytes.Buffer
+	if err := EmitJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Tables[0].Columns
+	got := dec.Tables[0].Columns
+	if len(got) != len(want) {
+		t.Fatalf("column count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("column %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJSONOmitsVolatileWallTimeWhenZero(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EmitJSON(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "wall_ms") {
+		t.Errorf("zero wall time must not be emitted (golden determinism):\n%s", buf.String())
+	}
+}
+
+func TestJSONRejectsUnknownSchemaVersion(t *testing.T) {
+	doc := strings.Replace(`{"experiment":"x","schema_version":1,"quick":false,"tables":[]}`,
+		`"schema_version":1`, `"schema_version":99`, 1)
+	if _, err := DecodeJSON(strings.NewReader(doc)); err == nil {
+		t.Error("expected schema version error")
+	}
+}
+
+func TestCSVEmitter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EmitCSV(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "# experiment: sample" {
+		t.Errorf("missing experiment comment: %q", lines[0])
+	}
+	if lines[2] != "Name,BW [GB/s],Count,OK,Note" {
+		t.Errorf("header = %q", lines[2])
+	}
+	// Values are canonical, not display text: 41.237 not "41.24",
+	// comma-bearing strings quoted, NA empty.
+	if lines[3] != "alpha,41.237,3,true," {
+		t.Errorf("row 1 = %q", lines[3])
+	}
+	if lines[4] != `"beta,quoted",2.5,-1,false,1024` {
+		t.Errorf("row 2 = %q", lines[4])
+	}
+}
+
+func TestCSVMultiTableAndAll(t *testing.T) {
+	r := sampleResult()
+	second := NewTable("Second table", C("k"), C("v"))
+	second.Row(Str("x"), Int(1))
+	r.Tables = append(r.Tables, second)
+	var buf bytes.Buffer
+	if err := EmitCSVAll(&buf, []*Result{r, sampleResult()}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "# experiment: sample") != 3 {
+		t.Errorf("expected 3 table blocks:\n%s", out)
+	}
+	if !strings.Contains(out, "\n\n# experiment") && !strings.Contains(out, "\n\n# table") {
+		t.Errorf("blocks must be blank-line separated:\n%s", out)
+	}
+}
+
+func TestEmitJSONAllIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EmitJSONAll(&buf, []*Result{sampleResult(), sampleResult()}); err != nil {
+		t.Fatal(err)
+	}
+	s := strings.TrimSpace(buf.String())
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		t.Errorf("expected JSON array, got:\n%s", s)
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, ok := range []string{"text", "json", "csv"} {
+		if _, err := ParseFormat(ok); err != nil {
+			t.Errorf("ParseFormat(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Error("ParseFormat(yaml) should fail")
+	}
+	if FormatJSON.Ext() != "json" || FormatCSV.Ext() != "csv" || FormatText.Ext() != "txt" {
+		t.Error("Ext() mapping wrong")
+	}
+}

@@ -66,6 +66,78 @@ func TestRaggedRows(t *testing.T) {
 	}
 }
 
+func TestRuleMatchesWidestRow(t *testing.T) {
+	tb := New("", "A", "B")
+	tb.AddRow("wide-cell-value", "x")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header, rule, row
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 lines, got %d: %q", len(lines), out)
+	}
+	rule, row := lines[1], lines[2]
+	if len(rule) != len(row) {
+		t.Errorf("rule width %d != row width %d:\n%s", len(rule), len(row), out)
+	}
+	if strings.Trim(rule, "-") != "" {
+		t.Errorf("rule contains non-dash characters: %q", rule)
+	}
+}
+
+func TestHeaderWiderThanCells(t *testing.T) {
+	tb := New("", "a-very-long-header", "h2")
+	tb.AddRow("x", "y")
+	tb.AddRow("zz", "w")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Column 2 starts at the same offset in every line, padded to the
+	// header width.
+	want := strings.Index(lines[0], "h2")
+	if strings.Index(lines[2], "y") != want || strings.Index(lines[3], "w") != want {
+		t.Errorf("second column misaligned under wide header:\n%s", out)
+	}
+}
+
+func TestShortRowPadsMissingCells(t *testing.T) {
+	tb := New("", "A", "B", "C")
+	tb.AddRow("x")
+	tb.AddRow("y", "mid", "z")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Index(lines[3], "z") <= strings.Index(lines[3], "mid") {
+		t.Fatalf("sanity: %q", lines[3])
+	}
+	// The short row renders only padding where cells are missing.
+	if got := strings.TrimRight(lines[2], " "); got != "x" {
+		t.Errorf("short row = %q, want bare first cell", got)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	if out := New("").String(); out != "" {
+		t.Errorf("empty table rendered %q", out)
+	}
+	if out := New("T").String(); out != "T\n" {
+		t.Errorf("title-only table rendered %q", out)
+	}
+	// Headers with no rows still render the header and rule.
+	out := New("", "A", "B").String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Errorf("header-only table rendered %q", out)
+	}
+}
+
+func TestNegativeAndScientificFloats(t *testing.T) {
+	tb := New("", "v")
+	tb.AddRow(-12.125)
+	tb.AddRow(0.0001) // below the %.4f trim floor
+	out := tb.String()
+	if !strings.Contains(out, "-12.125") || !strings.Contains(out, "0.0001") {
+		t.Errorf("float edge cases wrong: %q", out)
+	}
+}
+
 func TestIntsAndStrings(t *testing.T) {
 	tb := New("", "n")
 	tb.AddRow(42)

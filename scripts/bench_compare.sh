@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Compare two BENCH_*.json snapshots (current vs baseline) produced by
+# scripts/bench.sh. Prints a per-benchmark ratio table and the suite
+# wall-time ratio, and exits non-zero when the current snapshot
+# regresses beyond the thresholds:
+#
+#   BENCH_MAX_SUITE_RATIO  suite wall time ratio gate   (default 2.0)
+#   BENCH_MAX_NSOP_RATIO   per-benchmark ns/op gate     (default 3.0)
+#   BENCH_MIN_GATE_NS      baseline ns/op below which a benchmark is
+#                          reported but not gated      (default 100000)
+#
+# Thresholds are deliberately loose: CI runners are noisy and shared;
+# the gate exists to catch order-of-magnitude regressions, while the
+# printed table tracks the finer trajectory across snapshots.
+# Microsecond-scale benchmarks are never gated — at that scale the
+# ratio measures scheduler noise, not the code.
+#
+# Usage: scripts/bench_compare.sh CURRENT.json BASELINE.json
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 CURRENT.json BASELINE.json" >&2
+  exit 2
+fi
+current="$1"
+baseline="$2"
+max_suite="${BENCH_MAX_SUITE_RATIO:-2.0}"
+max_nsop="${BENCH_MAX_NSOP_RATIO:-3.0}"
+min_gate_ns="${BENCH_MIN_GATE_NS:-100000}"
+
+# Extract "suite_wall_seconds_parallel": <v> from the flat snapshot JSON.
+wall() {
+  awk -F': ' '/"suite_wall_seconds_parallel"/ { gsub(/[,"]/, "", $2); print $2 }' "$1"
+}
+
+# Emit "name ns_per_op" pairs from the benchmarks array.
+nsops() {
+  awk '
+    /"name":/ {
+      line=$0
+      name=line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+      ns=line; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+      print name, ns
+    }' "$1"
+}
+
+cur_wall="$(wall "$current")"
+base_wall="$(wall "$baseline")"
+
+status=0
+
+echo "suite wall time (parallel): current=${cur_wall}s baseline=${base_wall}s"
+if ! awk -v c="$cur_wall" -v b="$base_wall" -v m="$max_suite" \
+    'BEGIN { exit !(b > 0 && c / b <= m) }'; then
+  echo "FAIL: suite wall time regressed beyond ${max_suite}x baseline" >&2
+  status=1
+fi
+
+# Join the two benchmark lists by name; benchmarks present in only one
+# snapshot are reported but not gated (added/removed benchmarks are
+# expected as the suite grows).
+echo
+printf '%-40s %14s %14s %8s\n' benchmark current_ns baseline_ns ratio
+while read -r name cur_ns; do
+  base_ns="$(nsops "$baseline" | awk -v n="$name" '$1 == n { print $2; exit }')"
+  if [ -z "$base_ns" ]; then
+    printf '%-40s %14s %14s %8s\n' "$name" "$cur_ns" "-" "new"
+    continue
+  fi
+  ratio="$(awk -v c="$cur_ns" -v b="$base_ns" 'BEGIN { if (b > 0) printf "%.2f", c / b; else print "inf" }')"
+  printf '%-40s %14s %14s %8s\n' "$name" "$cur_ns" "$base_ns" "$ratio"
+  if ! awk -v r="$ratio" -v m="$max_nsop" -v b="$base_ns" -v f="$min_gate_ns" \
+      'BEGIN { exit !(b < f || r <= m) }'; then
+    echo "FAIL: $name regressed ${ratio}x beyond ${max_nsop}x baseline" >&2
+    status=1
+  fi
+done < <(nsops "$current")
+
+exit "$status"

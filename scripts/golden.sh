@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Golden-corpus management. The corpus under testdata/golden pins the
+# deterministic quick-mode output of every experiment in all three
+# emitter formats (json, csv, text); CI and the root-package golden
+# test diff freshly generated output against it, so any change to the
+# numbers or the emitters must be accompanied by a regeneration.
+#
+# Usage:
+#   scripts/golden.sh           # regenerate testdata/golden in place
+#   scripts/golden.sh -check    # regenerate into a temp dir and diff;
+#                               # non-zero exit + per-experiment diff on drift
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-}"
+golden=testdata/golden
+
+generate() {
+  local dir="$1"
+  local bin
+  bin="$(mktemp -d)/dsv3bench"
+  go build -o "$bin" ./cmd/dsv3bench
+  for fmt in json csv text; do
+    "$bin" -quick -deterministic -format "$fmt" -out "$dir" 2>/dev/null
+  done
+}
+
+case "$mode" in
+  "")
+    rm -rf "$golden"
+    generate "$golden"
+    echo "regenerated $golden ($(ls "$golden" | wc -l) files)" >&2
+    ;;
+  -check)
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    generate "$tmp"
+    status=0
+    # Per-experiment readable diff: report every drifted, missing, or
+    # untracked file rather than stopping at the first.
+    for f in "$golden"/*; do
+      b="$(basename "$f")"
+      if [ ! -f "$tmp/$b" ]; then
+        echo "golden: $b missing from regenerated output" >&2
+        status=1
+      elif ! diff -u "$f" "$tmp/$b" >&2; then
+        echo "golden: $b drifted (regenerate with scripts/golden.sh)" >&2
+        status=1
+      fi
+    done
+    for f in "$tmp"/*; do
+      b="$(basename "$f")"
+      if [ ! -f "$golden/$b" ]; then
+        echo "golden: $b generated but not checked in (run scripts/golden.sh)" >&2
+        status=1
+      fi
+    done
+    if [ "$status" -eq 0 ]; then
+      echo "golden corpus clean ($(ls "$golden" | wc -l) files)" >&2
+    fi
+    exit "$status"
+    ;;
+  *)
+    echo "usage: $0 [-check]" >&2
+    exit 2
+    ;;
+esac
