@@ -1,0 +1,197 @@
+// Command dsv3serve runs the request-level serving simulator: Poisson
+// or trace-replay traffic through a disaggregated (or colocated)
+// prefill/decode cluster built on the paper's §2.3.2 EP step model,
+// the §2.1.2 MLA KV roofline, and optionally §2.3.3 MTP speculation.
+//
+// The run is deterministic: a fixed -seed (plus config) produces
+// byte-identical output on every invocation and for any worker-pool
+// width (rate sweeps fan out over the deterministic pool);
+// -deterministic additionally omits volatile metadata (wall time) so
+// documents can be diffed across runs.
+//
+// Usage:
+//
+//	dsv3serve                              # 8 req/s Poisson on 2P+4D
+//	dsv3serve -rate 4,8,12                 # arrival-rate sweep
+//	dsv3serve -prefill 4 -decode 4         # resize the cluster
+//	dsv3serve -colocate -stride 32         # colocated continuous batching
+//	dsv3serve -mtp 0.85                    # MTP speculative decoding
+//	dsv3serve -trace requests.csv          # replay arrival,prompt,output lines
+//	dsv3serve -format json                 # structured output
+//	dsv3serve -timeline                    # batch/KV-occupancy timeline table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dsv3"
+	"dsv3/internal/results"
+)
+
+func main() {
+	rates := flag.String("rate", "8", "comma-separated Poisson arrival rates (req/s) to sweep")
+	requests := flag.Int("requests", 400, "requests per simulated point")
+	promptMean := flag.Int("prompt", 1024, "mean prompt tokens (lognormal)")
+	outputMean := flag.Int("output", 512, "mean output tokens (lognormal)")
+	tracePath := flag.String("trace", "", "replay a trace file (arrival_s,prompt,output per line) instead of Poisson traffic")
+	prefill := flag.Int("prefill", 2, "prefill instances")
+	decode := flag.Int("decode", 4, "decode instances")
+	colocate := flag.Bool("colocate", false, "colocate prefill and decode on prefill+decode unified instances")
+	stride := flag.Int("stride", 4, "colocated: min decode steps between stall-the-world prefills")
+	maxBatch := flag.Int("batch", 64, "max decode batch per instance")
+	kvGB := flag.Float64("kv", 64, "KV cache capacity per instance (GB)")
+	mtpAccept := flag.Float64("mtp", 0, "MTP draft acceptance rate (0 disables speculation)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	timeline := flag.Bool("timeline", false, "include the batch/KV-occupancy timeline table")
+	formatName := flag.String("format", "text", "output format: text, json, or csv")
+	deterministic := flag.Bool("deterministic", false, "omit volatile metadata (wall time) from emitted results")
+	flag.Parse()
+
+	format, err := results.ParseFormat(*formatName)
+	if err != nil {
+		fail(err)
+	}
+	start := time.Now()
+
+	cfg := dsv3.V3ServeConfig()
+	cfg.PrefillInstances = *prefill
+	cfg.DecodeInstances = *decode
+	cfg.Colocated = *colocate
+	cfg.ColocatedStride = *stride
+	cfg.MaxBatch = *maxBatch
+	cfg.KV.CapacityBytes = *kvGB * 1e9
+	cfg.Seed = *seed
+	if *mtpAccept > 0 {
+		spec := dsv3.MTPV3()
+		spec.Acceptance = *mtpAccept
+		cfg.MTP = &spec
+	}
+
+	w := dsv3.ServeWorkload{
+		Arrival:  dsv3.ArrivalPoisson,
+		Requests: *requests,
+		Prompt:   dsv3.LogNormalLength(*promptMean, 0.5),
+		Output:   dsv3.LogNormalLength(*outputMean, 0.5),
+	}
+
+	var pts []dsv3.ServeSweepPoint
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		trace, err := dsv3.ParseServeTrace(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		w = dsv3.ServeWorkload{Arrival: dsv3.ArrivalTrace, Trace: trace}
+		rep, err := dsv3.RunServe(cfg, w)
+		if err != nil {
+			fail(err)
+		}
+		pts = []dsv3.ServeSweepPoint{{Report: rep}}
+	} else {
+		sweep, err := parseRates(*rates)
+		if err != nil {
+			fail(err)
+		}
+		pts, err = dsv3.ServeRateSweep(cfg, w, sweep)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	res := buildResult(pts, *tracePath != "", *timeline, *seed)
+	if !*deterministic {
+		res.Meta.WallTime = time.Since(start)
+	}
+	switch format {
+	case results.FormatJSON:
+		err = results.EmitJSON(os.Stdout, res)
+	case results.FormatCSV:
+		err = results.EmitCSV(os.Stdout, res)
+	default:
+		fmt.Print(res.Text())
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("dsv3serve: bad -rate %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// buildResult packs the sweep into the shared results model so every
+// emitter (text/json/csv) works unchanged.
+func buildResult(pts []dsv3.ServeSweepPoint, traced, timeline bool, seed int64) *dsv3.ExperimentResult {
+	t := dsv3.NewExperimentTable("Serving simulation",
+		dsv3.ExperimentColumn{Name: "Rate", Unit: "req/s"},
+		dsv3.ExperimentColumn{Name: "Completed"},
+		dsv3.ExperimentColumn{Name: "TTFT p50", Unit: "ms"},
+		dsv3.ExperimentColumn{Name: "TTFT p99", Unit: "ms"},
+		dsv3.ExperimentColumn{Name: "TPOT p50", Unit: "ms"},
+		dsv3.ExperimentColumn{Name: "TPOT p99", Unit: "ms"},
+		dsv3.ExperimentColumn{Name: "E2E p99", Unit: "s"},
+		dsv3.ExperimentColumn{Name: "Goodput", Unit: "req/s"},
+		dsv3.ExperimentColumn{Name: "SLO", Unit: "%"},
+		dsv3.ExperimentColumn{Name: "Batch"},
+		dsv3.ExperimentColumn{Name: "KV peak", Unit: "%"},
+		dsv3.ExperimentColumn{Name: "Preempt"},
+	)
+	for _, p := range pts {
+		r := p.Report
+		rate := dsv3.FloatCell("%.1f", p.RatePerSec)
+		if traced {
+			rate = dsv3.FloatCell("%.2f", r.OfferedRate)
+		}
+		t.Row(rate,
+			dsv3.IntCell(r.Completed),
+			dsv3.FloatCell("%.0f", r.TTFT.P50*1e3), dsv3.FloatCell("%.0f", r.TTFT.P99*1e3),
+			dsv3.FloatCell("%.2f", r.TPOT.P50*1e3), dsv3.FloatCell("%.2f", r.TPOT.P99*1e3),
+			dsv3.FloatCell("%.2f", r.E2E.P99),
+			dsv3.FloatCell("%.2f", r.GoodputRPS), dsv3.FloatCell("%.1f%%", r.SLOAttainment*100),
+			dsv3.FloatCell("%.1f", r.MeanBatch), dsv3.FloatCell("%.1f%%", r.PeakKVOccupancy*100),
+			dsv3.IntCell(r.Preemptions))
+	}
+	tables := []*dsv3.ExperimentTable{t}
+	if timeline {
+		for i, p := range pts {
+			title := fmt.Sprintf("Timeline: point %d", i+1)
+			if !traced {
+				title = fmt.Sprintf("Timeline: %.1f req/s", p.RatePerSec)
+			}
+			tl := dsv3.NewExperimentTable(title,
+				dsv3.ExperimentColumn{Name: "Time", Unit: "s"},
+				dsv3.ExperimentColumn{Name: "Batch"},
+				dsv3.ExperimentColumn{Name: "KV", Unit: "%"})
+			for _, s := range p.Report.Timeline {
+				tl.Row(dsv3.FloatCell("%.2f", s.Time), dsv3.IntCell(s.ActiveBatch),
+					dsv3.FloatCell("%.1f%%", s.KVOccupancy*100))
+			}
+			tables = append(tables, tl)
+		}
+	}
+	res := dsv3.NewExperimentResult("dsv3serve", "request-level serving simulation", tables...)
+	res.Meta.Seed = seed
+	return res
+}

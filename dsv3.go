@@ -42,6 +42,7 @@ import (
 	"dsv3/internal/pipeline"
 	"dsv3/internal/quant"
 	"dsv3/internal/results"
+	"dsv3/internal/servesim"
 	"dsv3/internal/topology"
 	"dsv3/internal/trainsim"
 )
@@ -92,6 +93,13 @@ var (
 	EmitCSVAll        = results.EmitCSVAll
 	DecodeResultJSON  = results.DecodeJSON
 	ParseResultFormat = results.ParseFormat
+	// Builders for constructing results outside the catalogue (used by
+	// cmd/dsv3serve and custom tooling).
+	NewExperimentResult = results.New
+	NewExperimentTable  = results.NewTable
+	StrCell             = results.Str
+	IntCell             = results.Int
+	FloatCell           = results.Float
 )
 
 // Parallel execution engine. Every sweep-shaped runner fans out over a
@@ -102,6 +110,11 @@ var (
 	SetParallelWorkers = parallel.SetWorkers
 	ParallelWorkers    = parallel.Workers
 	DeriveSeed         = parallel.DeriveSeed
+	// NewSeededRand / TaskRand are the sanctioned seeded-RNG
+	// constructors: explicit deterministic streams, never the global
+	// source (a guard test rejects bare rand.NewSource elsewhere).
+	NewSeededRand = parallel.NewRand
+	TaskRand      = parallel.TaskRand
 )
 
 // Model configurations (Table 1 / Table 2 subjects).
@@ -249,6 +262,39 @@ var (
 	SimulateMTP         = mtp.Simulate
 	H800Accelerator     = mla.H800
 	AttentionDecodeCost = mla.AttentionDecodeCost
+)
+
+// Serving simulator (request-level traffic over the inference models):
+// discrete-event prefill/decode cluster with continuous batching, a
+// paged MLA-sized KV cache, and optional MTP speculation. Deterministic
+// by construction — see internal/servesim and DESIGN.md.
+type (
+	ServeConfig       = servesim.Config
+	ServeWorkload     = servesim.Workload
+	ServeReport       = servesim.Report
+	ServeRequest      = servesim.Request
+	ServeSLO          = servesim.SLO
+	ServeLatencyModel = servesim.LatencyModel
+	ServeKVConfig     = servesim.KVConfig
+	ServeLengthDist   = servesim.LengthDist
+	ServeSweepPoint   = servesim.SweepPoint
+)
+
+const (
+	ArrivalPoisson = servesim.ArrivalPoisson
+	ArrivalUniform = servesim.ArrivalUniform
+	ArrivalTrace   = servesim.ArrivalTrace
+)
+
+var (
+	RunServe        = servesim.Run
+	ServeRateSweep  = servesim.RateSweep
+	V3ServeConfig   = servesim.V3ServeConfig
+	V3ServeLatency  = servesim.V3LatencyModel
+	DefaultServeSLO = servesim.DefaultSLO
+	ParseServeTrace = servesim.ParseTrace
+	FixedLength     = servesim.Fixed
+	LogNormalLength = servesim.LogNormal
 )
 
 // Training (Table 4).

@@ -5,7 +5,6 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 
 	"dsv3"
 	"dsv3/internal/stats"
@@ -13,7 +12,7 @@ import (
 
 func main() {
 	// GEMM error of the production recipe vs a float64 reference.
-	rng := rand.New(rand.NewSource(5))
+	rng := dsv3.NewSeededRand(5)
 	a := dsv3.NewMatrix(16, 1024)
 	b := dsv3.NewMatrix(1024, 16)
 	for i := range a.Data {

@@ -5,7 +5,6 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 
 	"dsv3"
 )
@@ -31,7 +30,7 @@ func main() {
 
 	// MTP stacks on top of whatever the network allows (§2.3.3).
 	mtpCfg := dsv3.MTPV3()
-	sim, err := dsv3.SimulateMTP(mtpCfg, 100000, rand.New(rand.NewSource(1)))
+	sim, err := dsv3.SimulateMTP(mtpCfg, 100000, dsv3.NewSeededRand(1))
 	if err != nil {
 		panic(err)
 	}

@@ -5,7 +5,6 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 
 	"dsv3"
 	"dsv3/internal/moe"
@@ -26,7 +25,7 @@ func main() {
 			fmt.Printf("  limit %d: %v\n", limit, err)
 			continue
 		}
-		st := moe.CollectStats(g, place, 3000, 0, nil, rand.New(rand.NewSource(int64(limit))))
+		st := moe.CollectStats(g, place, 3000, 0, nil, dsv3.NewSeededRand(int64(limit)))
 		fmt.Printf("  limit %d: E[M]=%.2f  E[remote]=%.2f  max=%d\n",
 			limit, st.MeanNodes, st.MeanRemoteNodes, st.MaxNodes)
 	}

@@ -21,7 +21,6 @@ package deepep
 
 import (
 	"fmt"
-	"math/rand"
 
 	"dsv3/internal/cluster"
 	"dsv3/internal/moe"
@@ -155,7 +154,7 @@ func (tr *traffic) merge(b *traffic) {
 // the rank-derived RNG stream.
 func routeRank(c *cluster.Cluster, cfg Config, place moe.Placement, rank, sample int, seed int64) *traffic {
 	tr := newTraffic(c)
-	rng := rand.New(rand.NewSource(parallel.DeriveSeed(seed, rank)))
+	rng := parallel.TaskRand(seed, rank)
 	router := moe.NewRouter(cfg.Gate)
 	disp := moe.NewDispatcher(place)
 	scores := make([]float64, cfg.Gate.Experts)

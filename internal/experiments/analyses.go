@@ -14,7 +14,6 @@ import (
 	"dsv3/internal/stats"
 	"dsv3/internal/trainsim"
 	"dsv3/internal/units"
-	"math/rand"
 )
 
 // Table4Paper holds the paper's MPFT/MRFT measurements.
@@ -179,7 +178,7 @@ type MTPResult struct {
 // MTPSpeedup reproduces the 1.8x MTP figure.
 func MTPSpeedup(seed int64) (MTPResult, error) {
 	cfg := mtp.V3Config()
-	sim, err := mtp.Simulate(cfg, 100000, rand.New(rand.NewSource(seed)))
+	sim, err := mtp.Simulate(cfg, 100000, parallel.NewRand(seed))
 	if err != nil {
 		return MTPResult{}, err
 	}
@@ -270,7 +269,7 @@ type AccumulationRow struct {
 // AccumulationAblation sweeps accumulator precision on a long-K FP8
 // GEMM with exact inputs, isolating the FP22-vs-FP32 effect.
 func AccumulationAblation(seed int64) ([]AccumulationRow, error) {
-	rng := rand.New(rand.NewSource(seed))
+	rng := parallel.NewRand(seed)
 	exact := func(rows, cols int) *quant.Matrix {
 		m := quant.NewMatrix(rows, cols)
 		for i := range m.Data {
@@ -333,7 +332,7 @@ type LogFMTRow struct {
 
 // LogFMTAccuracy compares LogFMT against FP8/BF16 on gaussian tiles.
 func LogFMTAccuracy(seed int64) ([]LogFMTRow, error) {
-	rng := rand.New(rand.NewSource(seed))
+	rng := parallel.NewRand(seed)
 	const trials = 200
 	tiles := make([][]float64, trials)
 	for i := range tiles {

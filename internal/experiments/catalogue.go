@@ -18,6 +18,9 @@ const (
 	SeedLogFMT      = 17
 	SeedNodeLimited = 19
 	SeedSDC         = 29
+	SeedServe       = 41
+	SeedServeDisagg = 43
+	SeedServeSpec   = 47
 )
 
 // Options configure one catalogue runner invocation.
@@ -27,10 +30,13 @@ type Options struct {
 }
 
 // Runner is one catalogue entry: a named experiment producing a
-// structured Result.
+// structured Result. Seed is the base RNG seed baked into the
+// experiment definition (0 for deterministic runners); it is recorded
+// in every Result's metadata and shown by dsv3bench -list.
 type Runner struct {
 	Name string
 	Desc string
+	Seed int64
 	Run  func(Options) (*results.Result, error)
 }
 
@@ -39,7 +45,7 @@ type Runner struct {
 // tests, and the facade.
 func Catalogue() []Runner {
 	many := func(name, desc string, seed int64, f func(Options) ([]*results.Table, error)) Runner {
-		return Runner{Name: name, Desc: desc, Run: func(o Options) (*results.Result, error) {
+		return Runner{Name: name, Desc: desc, Seed: seed, Run: func(o Options) (*results.Result, error) {
 			tables, err := f(o)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", name, err)
@@ -135,6 +141,12 @@ func Catalogue() []Runner {
 			func(Options) (*results.Table, error) { return BandwidthContentionResult() }),
 		one("sdc", "§6.1.2 checksum-based SDC detection", SeedSDC,
 			func(Options) (*results.Table, error) { return SDCDetectionResult(SeedSDC) }),
+		one("serve", "serving simulator: Poisson load sweep", SeedServe,
+			func(o Options) (*results.Table, error) { return ServeLoadSweepResult(SeedServe, o.Quick) }),
+		one("serve-disagg", "serving: disaggregation vs colocation ratios", SeedServeDisagg,
+			func(o Options) (*results.Table, error) { return DisaggRatioStudyResult(SeedServeDisagg, o.Quick) }),
+		one("serve-spec", "serving: MTP speculative decoding under load", SeedServeSpec,
+			func(o Options) (*results.Table, error) { return SpeculativeServingResult(SeedServeSpec, o.Quick) }),
 	}
 }
 

@@ -3,10 +3,10 @@ package experiments
 import (
 	"dsv3/internal/gemm"
 	"dsv3/internal/inference"
+	"dsv3/internal/parallel"
 	"dsv3/internal/quant"
 	"dsv3/internal/results"
 	"dsv3/internal/units"
-	"math/rand"
 )
 
 // ContentionRow is one KV-transfer-rate point of the §4.5 study.
@@ -126,7 +126,7 @@ type SDCResult struct {
 // SDCDetection runs Freivalds verification over repeated FP8 GEMMs with
 // injected single-element corruptions.
 func SDCDetection(seed int64) (SDCResult, error) {
-	rng := rand.New(rand.NewSource(seed))
+	rng := parallel.NewRand(seed)
 	a := quant.NewMatrix(16, 256)
 	b := quant.NewMatrix(256, 16)
 	for i := range a.Data {

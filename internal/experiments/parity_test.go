@@ -81,6 +81,9 @@ func TestParallelSerialParity(t *testing.T) {
 		}},
 		{"table4", RenderTable4},
 		{"fp8", RenderFP8Accuracy},
+		{"serve", func() (string, error) { return RenderServeLoadSweep(SeedServe, true) }},
+		{"serve-disagg", func() (string, error) { return RenderDisaggRatioStudy(SeedServeDisagg, true) }},
+		{"serve-spec", func() (string, error) { return RenderSpeculativeServing(SeedServeSpec, true) }},
 		{"accum", func() (string, error) { return RenderAccumulationAblation(13) }},
 		{"logfmt", func() (string, error) { return RenderLogFMT(17) }},
 		{"nodelimit", func() (string, error) { return RenderNodeLimited(19) }},
@@ -133,6 +136,9 @@ func TestCatalogueStructure(t *testing.T) {
 		}
 		if res.Experiment != r.Name {
 			t.Errorf("%s: result labelled %q", r.Name, res.Experiment)
+		}
+		if res.Meta.Seed != r.Seed {
+			t.Errorf("%s: result seed %d != catalogue seed %d", r.Name, res.Meta.Seed, r.Seed)
 		}
 		for ti, tab := range res.Tables {
 			for ri, row := range tab.Rows {

@@ -143,7 +143,7 @@ func Train(cfg Config, prec Precision) (Result, error) {
 	if cfg.In <= 0 || cfg.Hidden <= 0 || cfg.Out <= 0 || cfg.Batch <= 0 || cfg.Steps <= 0 {
 		return Result{}, fmt.Errorf("fp8train: non-positive dimensions %+v", cfg)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := parallel.NewRand(cfg.Seed)
 	scales := featureScales(cfg.In)
 	// Inputs carry the heterogeneous per-feature magnitudes; the
 	// teacher's first layer undoes them (the way normalization layers

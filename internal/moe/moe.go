@@ -402,7 +402,7 @@ func CollectStatsSeeded(g Gate, p Placement, tokens, srcNode int, bias []float64
 			n = rem
 		}
 		acc := newStatsAccumulator(g, p, srcNode, bias)
-		acc.routeTokens(n, rand.New(rand.NewSource(parallel.DeriveSeed(seed, ci))))
+		acc.routeTokens(n, parallel.TaskRand(seed, ci))
 		return acc, nil
 	})
 	total := newStatsAccumulator(g, p, srcNode, bias)

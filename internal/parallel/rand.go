@@ -1,0 +1,22 @@
+package parallel
+
+import "math/rand"
+
+// NewRand is the repo's only sanctioned way to construct a seeded RNG
+// in non-test code: an explicit, deterministic stream that can never be
+// the process-global source. Experiments and simulators build their
+// streams through this constructor (or TaskRand for fan-out tasks) so
+// a new runner cannot accidentally depend on global RNG state — the
+// guard test in this package scans the source tree for bare
+// rand.New(rand.NewSource(...)) outside this file.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// TaskRand returns the RNG stream of fan-out task index under base:
+// NewRand(DeriveSeed(base, index)). Per-task streams are statistically
+// independent and derivation is pure, so results are identical for any
+// worker count (see the package determinism contract).
+func TaskRand(base int64, index int) *rand.Rand {
+	return NewRand(DeriveSeed(base, index))
+}

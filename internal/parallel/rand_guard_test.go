@@ -1,0 +1,66 @@
+package parallel
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Non-test library and command code must construct RNGs through
+// parallel.NewRand/TaskRand rather than bare rand.New(rand.NewSource(...)):
+// the constructor is what keeps every experiment stream explicit,
+// seeded, and derivable (never the process-global source). This test
+// scans the repository's non-test Go sources — internal packages,
+// commands, and examples — and fails on any bare construction outside
+// this package. Tests are exempt: ad-hoc fixed-seed streams are fine
+// in test fixtures.
+func TestNoBareRandSourceOutsideParallel(t *testing.T) {
+	root := "../.."
+	var offenders []string
+	for _, dir := range []string{"internal", "cmd", "examples"} {
+		err := filepath.WalkDir(filepath.Join(root, dir), func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			if filepath.Base(filepath.Dir(path)) == "parallel" {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			if strings.Contains(string(src), "rand.NewSource(") {
+				offenders = append(offenders, path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(offenders) > 0 {
+		t.Errorf("bare rand.NewSource outside internal/parallel (use parallel.NewRand / parallel.TaskRand):\n  %s",
+			strings.Join(offenders, "\n  "))
+	}
+}
+
+// TaskRand must be exactly NewRand over DeriveSeed — the equivalence
+// the migration of pre-existing call sites relies on.
+func TestTaskRandMatchesDerivedNewRand(t *testing.T) {
+	for _, base := range []int64{0, 7, -3, 1 << 40} {
+		for _, idx := range []int{0, 1, 17} {
+			a := TaskRand(base, idx)
+			b := NewRand(DeriveSeed(base, idx))
+			for i := 0; i < 8; i++ {
+				if av, bv := a.Uint64(), b.Uint64(); av != bv {
+					t.Fatalf("TaskRand(%d,%d) diverges from NewRand(DeriveSeed): %d != %d", base, idx, av, bv)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package servesim
+
+import (
+	"fmt"
+
+	"dsv3/internal/inference"
+	"dsv3/internal/mla"
+	"dsv3/internal/model"
+	"dsv3/internal/units"
+)
+
+// LatencyModel composes the per-step serving latency of one expert-
+// parallel device ("instance") from the repo's steady-state models:
+// dispatch/combine traffic from inference.EPConfig (§2.3.2), attention
+// FLOPs and KV-cache bytes from mla.AttentionDecodeCost (§2.1.2), and
+// weight streaming / linear compute against the accelerator roofline.
+// Decode follows the paper's dual-micro-batch overlap: a layer costs
+// twice the max of its communication and computation.
+type LatencyModel struct {
+	Model *model.Config
+	Accel mla.Accelerator
+	EP    inference.EPConfig
+	// InterconnectBW is the per-device all-to-all bandwidth (50 GB/s
+	// for 400G IB).
+	InterconnectBW units.BytesPerSecond
+	// Efficiency is the achieved fraction of peak compute and memory
+	// bandwidth (0..1].
+	Efficiency float64
+	// WeightBytes is the per-device resident model weight footprint
+	// (attention + local experts, all layers) streamed once per decode
+	// step.
+	WeightBytes units.Bytes
+	// KVBytesPerElem is the cached KV element width (1 for FP8).
+	KVBytesPerElem float64
+}
+
+// V3LatencyModel returns the DeepSeek-V3 deployment point: H800
+// roofline, the paper's EP traffic model on 400G IB (50 GB/s), FP8 KV,
+// and an ~8 GB per-device weight shard (671B over a large EP group).
+func V3LatencyModel() LatencyModel {
+	return LatencyModel{
+		Model:          model.DeepSeekV3(),
+		Accel:          mla.H800(),
+		EP:             inference.V3EPConfig(),
+		InterconnectBW: 50 * units.GB,
+		Efficiency:     0.85,
+		WeightBytes:    8 * units.GB,
+		KVBytesPerElem: 1,
+	}
+}
+
+// Validate checks the model.
+func (l LatencyModel) Validate() error {
+	if l.Model == nil {
+		return fmt.Errorf("servesim: latency model needs a model config")
+	}
+	if err := l.EP.Validate(); err != nil {
+		return err
+	}
+	if l.InterconnectBW <= 0 || l.Efficiency <= 0 || l.Efficiency > 1 ||
+		l.Accel.PeakFLOPS <= 0 || l.Accel.MemBandwidth <= 0 ||
+		l.WeightBytes < 0 || l.KVBytesPerElem <= 0 {
+		return fmt.Errorf("servesim: invalid latency model %+v", l)
+	}
+	return nil
+}
+
+// commBytesPerToken returns the dispatch+combine bytes one token moves
+// per layer (the EPConfig step batch normalized out).
+func (l LatencyModel) commBytesPerToken() units.Bytes {
+	return l.EP.CommBytesPerStep() / float64(l.EP.TokensPerDevice)
+}
+
+// batchAttention accumulates the attention decode cost of a batch with
+// per-request context lengths.
+type batchAttention struct {
+	FLOPs   float64
+	KVBytes units.Bytes
+}
+
+// addContext folds one request at context length ctx into the batch.
+func (l LatencyModel) addContext(b *batchAttention, ctx int) {
+	dc := mla.AttentionDecodeCost(l.Model, ctx, l.KVBytesPerElem)
+	b.FLOPs += dc.FLOPs
+	b.KVBytes += dc.KVBytes
+}
+
+// DecodeStepTime returns the duration of one continuous-batching
+// decode step that advances batch requests whose attention cost has
+// been accumulated in attn. Per layer, communication is the all-to-all
+// for the local batch and computation is attention (max of its compute
+// and KV-read roofline legs) plus the linear path (max of GEMV FLOPs
+// and weight streaming); the step costs 2 x max(comm, compute) per
+// layer under dual-micro-batch overlap, matching
+// inference.EPConfig.AnalyzeWithCompute.
+func (l LatencyModel) DecodeStepTime(batch int, attn batchAttention) units.Seconds {
+	if batch <= 0 {
+		return 0
+	}
+	layers := float64(l.Model.Layers)
+	peak := l.Accel.PeakFLOPS * l.Efficiency
+	mem := l.Accel.MemBandwidth * l.Efficiency
+
+	commPerLayer := l.commBytesPerToken() * float64(batch) / l.InterconnectBW
+
+	attnTime := attn.FLOPs / peak
+	if kv := attn.KVBytes / mem; kv > attnTime {
+		attnTime = kv
+	}
+	linFLOPs := 2 * l.Model.Params().ActiveNonEmbedding * float64(batch)
+	linTime := linFLOPs / peak
+	if w := l.WeightBytes / mem; w > linTime {
+		linTime = w
+	}
+	computePerLayer := (attnTime + linTime) / layers
+
+	per := commPerLayer
+	if computePerLayer > per {
+		per = computePerLayer
+	}
+	return 2 * per * layers
+}
+
+// PrefillTime returns the duration of prefilling a prompt of the given
+// length on one prefill instance: the max of the compute roofline
+// (linear plus causal attention FLOPs) and the expert-parallel
+// dispatch/combine traffic for all prompt tokens.
+func (l LatencyModel) PrefillTime(promptTokens int) units.Seconds {
+	tokens := float64(promptTokens)
+	a := l.Model.Attention
+	linear := 2 * l.Model.Params().ActiveNonEmbedding * tokens
+	attn := 2 * float64(a.NumQueryHeads) * float64(a.QKDim()+a.VDim()) *
+		tokens * tokens / 2 * float64(l.Model.Layers)
+	compute := (linear + attn) / (l.Accel.PeakFLOPS * l.Efficiency)
+
+	comm := l.commBytesPerToken() * tokens * float64(l.Model.Layers) / l.InterconnectBW
+	if comm > compute {
+		return comm
+	}
+	return compute
+}
+
+// KVBytesForContext returns the KV-cache volume of a context, the
+// payload a prefill->decode migration moves.
+func (l LatencyModel) KVBytesForContext(tokens int) units.Bytes {
+	return l.Model.KVCacheBytesPerToken(l.KVBytesPerElem) * float64(tokens)
+}

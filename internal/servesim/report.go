@@ -1,0 +1,155 @@
+package servesim
+
+import (
+	"sort"
+
+	"dsv3/internal/parallel"
+	"dsv3/internal/stats"
+	"dsv3/internal/units"
+)
+
+// timelineSamples is the nominal number of batch/KV-occupancy timeline
+// points a run records (the tail of a run may add up to 3x more).
+const timelineSamples = 64
+
+// TimelinePoint is one sampled instant of cluster state.
+type TimelinePoint struct {
+	Time units.Seconds
+	// ActiveBatch is the total decode batch across instances.
+	ActiveBatch int
+	// KVOccupancy is the used fraction of all KV pools.
+	KVOccupancy float64
+}
+
+// Report is the request-level outcome of one simulation run. All
+// fields are deterministic functions of (Config, Workload, Seed);
+// encoding a Report as JSON is byte-stable across runs.
+type Report struct {
+	Requests  int
+	Completed int
+	// Preemptions counts KV-exhaustion evictions (recompute restarts).
+	Preemptions int
+	// Makespan is the completion time of the last request.
+	Makespan units.Seconds
+	// OfferedRate is requests / last arrival; CompletedRate is
+	// requests / makespan.
+	OfferedRate   float64
+	CompletedRate float64
+
+	// TTFT, TPOT and E2E summarize per-request latency in seconds
+	// (TPOT over requests with at least two output tokens).
+	TTFT stats.Summary
+	TPOT stats.Summary
+	E2E  stats.Summary
+
+	// GoodputRPS is completed-within-SLO requests per second of
+	// makespan; SLOAttainment the within-SLO fraction of completions.
+	GoodputRPS    float64
+	SLOAttainment float64
+
+	// MeanBatch is the decode batch averaged over steps; TokensPerStep
+	// the tokens emitted per batch slot per decode step (1.0 exactly
+	// without MTP, the speculative multiplier with it).
+	MeanBatch     float64
+	TokensPerStep float64
+	DecodeSteps   int
+
+	// PeakKVOccupancy is the high-water mark across allocations;
+	// MeanKVOccupancy averages the sampled timeline.
+	PeakKVOccupancy float64
+	MeanKVOccupancy float64
+
+	Timeline []TimelinePoint
+}
+
+// report assembles the Report after the event loop drains.
+func (e *engine) report() *Report {
+	r := &Report{
+		Requests:        len(e.completed),
+		Completed:       len(e.completed),
+		Preemptions:     e.preempts,
+		DecodeSteps:     e.steps,
+		PeakKVOccupancy: e.peakOcc,
+		Timeline:        e.samples,
+	}
+	// Completion order depends on scheduling; metrics are over the
+	// request population, so sort by ID for a canonical view.
+	sort.Slice(e.completed, func(i, j int) bool { return e.completed[i].ID < e.completed[j].ID })
+
+	ttft := make([]float64, 0, len(e.completed))
+	tpot := make([]float64, 0, len(e.completed))
+	e2e := make([]float64, 0, len(e.completed))
+	var lastArrival, lastDone units.Seconds
+	meetsSLO := 0
+	for _, req := range e.completed {
+		t := req.firstToken - req.Arrival
+		ttft = append(ttft, t)
+		e2e = append(e2e, req.done-req.Arrival)
+		perTok := -1.0
+		if req.OutputTokens > 1 {
+			perTok = (req.done - req.firstToken) / float64(req.OutputTokens-1)
+			tpot = append(tpot, perTok)
+		}
+		if t <= e.cfg.SLO.TTFT && (perTok < 0 || perTok <= e.cfg.SLO.TPOT) {
+			meetsSLO++
+		}
+		if req.Arrival > lastArrival {
+			lastArrival = req.Arrival
+		}
+		if req.done > lastDone {
+			lastDone = req.done
+		}
+	}
+	r.Makespan = lastDone
+	if lastArrival > 0 {
+		r.OfferedRate = float64(r.Requests) / lastArrival
+	}
+	if r.Makespan > 0 {
+		r.CompletedRate = float64(r.Completed) / r.Makespan
+		r.GoodputRPS = float64(meetsSLO) / r.Makespan
+	}
+	if r.Completed > 0 {
+		r.SLOAttainment = float64(meetsSLO) / float64(r.Completed)
+	}
+	r.TTFT = stats.Summarize(ttft)
+	r.TPOT = stats.Summarize(tpot)
+	r.E2E = stats.Summarize(e2e)
+	if e.steps > 0 {
+		r.MeanBatch = float64(e.stepBatch) / float64(e.steps)
+	}
+	if e.stepBatch > 0 {
+		r.TokensPerStep = float64(e.stepTokens) / float64(e.stepBatch)
+	}
+	if len(e.samples) > 0 {
+		var sum float64
+		for _, p := range e.samples {
+			sum += p.KVOccupancy
+		}
+		r.MeanKVOccupancy = sum / float64(len(e.samples))
+	}
+	return r
+}
+
+// SweepPoint is one arrival rate of a load sweep.
+type SweepPoint struct {
+	RatePerSec float64
+	Report     *Report
+}
+
+// RateSweep simulates the workload at each arrival rate, fanning the
+// independent runs out over the deterministic worker pool. Each point
+// runs on its own engine with a seed derived from (cfg.Seed, index),
+// so the sweep is byte-identical for any worker count.
+func RateSweep(cfg Config, w Workload, rates []float64) ([]SweepPoint, error) {
+	return parallel.Map(len(rates), func(i int) (SweepPoint, error) {
+		pc := cfg
+		pc.Seed = parallel.DeriveSeed(cfg.Seed, i)
+		pw := w
+		pw.RatePerSec = rates[i]
+		rep, err := Run(pc, pw)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return SweepPoint{RatePerSec: rates[i], Report: rep}, nil
+	})
+}

@@ -1,0 +1,611 @@
+// Package servesim is a deterministic discrete-event simulator of an
+// LLM serving cluster under request-level traffic — the paper's
+// inference analyses (§2.1.2 KV pressure, §2.3.2 EP decode ceiling,
+// §2.3.3 MTP) lifted from steady-state formulas to TTFT/TPOT/goodput
+// under load, in the spirit of the DeepSeek-V3 production deployment:
+// disaggregated prefill and decode instances, continuous batching, and
+// a paged MLA-sized KV cache with admission and preemption.
+//
+// Determinism contract: a (Config, Workload) pair with a fixed Seed
+// produces a byte-identical Report (and JSON encoding) on every run.
+// The event loop is single-threaded, events are ordered by (time,
+// sequence), every scheduling decision is a pure function of simulator
+// state, and all randomness flows from parallel.NewRand streams.
+// Sweeps fan the per-point engines out over internal/parallel with
+// seeds derived per index, so parallel sweep execution is invisible —
+// the same guarantee the experiment suite asserts byte-for-byte.
+package servesim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"dsv3/internal/mtp"
+	"dsv3/internal/parallel"
+	"dsv3/internal/units"
+)
+
+// SLO is the latency service-level objective a request must meet to
+// count toward goodput.
+type SLO struct {
+	TTFT units.Seconds // time to first token
+	TPOT units.Seconds // mean time per output token
+}
+
+// DefaultSLO returns the evaluation SLO: first token within 1 s, then
+// at least 50 tokens/s sustained.
+func DefaultSLO() SLO { return SLO{TTFT: 1.0, TPOT: 20 * units.Millisecond} }
+
+// Config describes the serving cluster.
+type Config struct {
+	Latency LatencyModel
+
+	// PrefillInstances and DecodeInstances size the disaggregated
+	// deployment. Under Colocated the two pools merge into
+	// PrefillInstances+DecodeInstances unified instances that both
+	// prefill and decode.
+	PrefillInstances int
+	DecodeInstances  int
+	Colocated        bool
+	// ColocatedStride is the minimum number of decode steps a
+	// colocated instance runs between stall-the-world prefills (the
+	// decode-SLO-protecting policy; a prefill also runs whenever the
+	// instance has nothing to decode). Default 4.
+	ColocatedStride int
+
+	// MaxBatch caps the continuous-batching decode batch per instance.
+	MaxBatch int
+	// KV sizes the per-instance paged KV pool.
+	KV KVConfig
+	// TransferBW is the prefill->decode KV migration bandwidth; 0
+	// makes the hand-off instantaneous.
+	TransferBW units.BytesPerSecond
+
+	// MTP enables speculative decoding: each step costs
+	// MTP.StepCost() x the base step and every request draws up to
+	// MTP.Modules extra accepted tokens per step. Nil disables.
+	MTP *mtp.Config
+
+	SLO  SLO
+	Seed int64
+}
+
+// V3ServeConfig returns a small reference deployment: the V3 latency
+// model, 2 prefill + 4 decode instances, batch 64, FP8 paged KV in
+// 64 GB of HBM per instance.
+func V3ServeConfig() Config {
+	l := V3LatencyModel()
+	return Config{
+		Latency:          l,
+		PrefillInstances: 2,
+		DecodeInstances:  4,
+		ColocatedStride:  4,
+		MaxBatch:         64,
+		KV: KVConfig{
+			CapacityBytes: 64 * units.GB,
+			PageTokens:    64,
+			BytesPerElem:  l.KVBytesPerElem,
+		},
+		TransferBW: 50 * units.GB,
+		SLO:        DefaultSLO(),
+		Seed:       1,
+	}
+}
+
+// Validate checks the configuration against a workload.
+func (c Config) Validate(w Workload) error {
+	if err := c.Latency.Validate(); err != nil {
+		return err
+	}
+	if err := c.KV.Validate(); err != nil {
+		return err
+	}
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	if c.MaxBatch <= 0 {
+		return fmt.Errorf("servesim: max batch must be positive, got %d", c.MaxBatch)
+	}
+	if c.PrefillInstances < 0 || c.DecodeInstances < 0 {
+		return fmt.Errorf("servesim: negative instance counts %d+%d", c.PrefillInstances, c.DecodeInstances)
+	}
+	if c.Colocated {
+		if c.PrefillInstances+c.DecodeInstances <= 0 {
+			return fmt.Errorf("servesim: colocated cluster needs at least one instance")
+		}
+	} else if c.PrefillInstances <= 0 || c.DecodeInstances <= 0 {
+		return fmt.Errorf("servesim: disaggregated cluster needs prefill and decode instances, got %d+%d",
+			c.PrefillInstances, c.DecodeInstances)
+	}
+	if c.MTP != nil {
+		if err := c.MTP.Validate(); err != nil {
+			return err
+		}
+	}
+	// A single worst-case request must fit in one instance's KV pool,
+	// or preemption could livelock with no victim to evict.
+	total := c.KV.TotalPages(c.Latency.Model)
+	if need := c.KV.PagesFor(w.maxContextTokens()); need > total {
+		return fmt.Errorf("servesim: KV pool (%d pages) cannot hold one worst-case request (%d pages)", total, need)
+	}
+	return nil
+}
+
+// Event kinds, processed in (time, seq) order.
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evPrefillDone
+	evDecodeLand
+	evStepDone
+)
+
+type event struct {
+	at   units.Seconds
+	seq  int
+	kind eventKind
+	inst int // prefill instance (evPrefillDone), decode instance (evDecodeLand, evStepDone)
+	req  *reqState
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// reqState tracks one request through the pipeline.
+type reqState struct {
+	Request
+	// generated counts emitted tokens (the prefill-produced first
+	// token included); remaining = OutputTokens - generated.
+	generated int
+	// ctx is the KV-resident context length (prompt + generated-1
+	// decode-written tokens, approximated as prompt + generated).
+	ctx   int
+	pages int
+	// resumed marks a preempted request re-running prefill to rebuild
+	// its KV (recompute); its first token was already emitted.
+	resumed    bool
+	preempted  int
+	firstToken units.Seconds
+	done       units.Seconds
+	admitSeq   int // admission order on the decode instance (preemption priority)
+}
+
+func (r *reqState) remaining() int { return r.OutputTokens - r.generated }
+
+// prefillUnit is one prefill (or the prefill half of a colocated)
+// instance.
+type prefillUnit struct {
+	busy bool
+}
+
+// decodeUnit is one decode (or colocated) instance.
+type decodeUnit struct {
+	active   []*reqState
+	pending  []*reqState // landed, waiting for batch slot + KV pages
+	kv       *kvPool
+	stepping bool
+	// colocated bookkeeping
+	prefilling   bool
+	sincePrefill int
+	admitCounter int
+}
+
+type engine struct {
+	cfg  Config
+	rng  *rand.Rand
+	now  units.Seconds
+	seq  int
+	heap eventHeap
+
+	prefillQ []*reqState
+	prefills []*prefillUnit // empty when colocated
+	decodes  []*decodeUnit
+
+	mtpFactor float64
+
+	// metrics accumulation
+	completed  []*reqState
+	preempts   int
+	steps      int
+	stepBatch  int
+	stepTokens int
+	peakOcc    float64
+	samples    []TimelinePoint
+	nextSample units.Seconds
+	sampleStep units.Seconds
+}
+
+// Run simulates the workload on the cluster and reports request-level
+// latency, goodput, and occupancy metrics.
+func Run(cfg Config, w Workload) (*Report, error) {
+	if cfg.ColocatedStride <= 0 {
+		cfg.ColocatedStride = 4
+	}
+	if err := cfg.Validate(w); err != nil {
+		return nil, err
+	}
+	reqs := w.Generate(parallel.DeriveSeed(cfg.Seed, 0))
+
+	e := &engine{
+		cfg:       cfg,
+		rng:       parallel.NewRand(parallel.DeriveSeed(cfg.Seed, 1)),
+		mtpFactor: 1,
+	}
+	if cfg.MTP != nil {
+		e.mtpFactor = cfg.MTP.StepCost()
+	}
+	nPrefill, nDecode := cfg.PrefillInstances, cfg.DecodeInstances
+	if cfg.Colocated {
+		nDecode = cfg.PrefillInstances + cfg.DecodeInstances
+		nPrefill = 0
+	}
+	for i := 0; i < nPrefill; i++ {
+		e.prefills = append(e.prefills, &prefillUnit{})
+	}
+	for i := 0; i < nDecode; i++ {
+		e.decodes = append(e.decodes, &decodeUnit{kv: newKVPool(cfg.KV, cfg.Latency.Model)})
+	}
+
+	// Sample the batch/occupancy timeline on a horizon estimated from
+	// the offered traffic; sampling is clocked off event times only, so
+	// it never perturbs the simulation.
+	horizon := reqs[len(reqs)-1].Arrival + 1
+	e.sampleStep = horizon / timelineSamples
+	if e.sampleStep <= 0 {
+		e.sampleStep = 1
+	}
+	e.nextSample = e.sampleStep
+
+	for i := range reqs {
+		rs := &reqState{Request: reqs[i]}
+		e.schedule(rs.Arrival, evArrival, 0, rs)
+	}
+	for e.heap.Len() > 0 {
+		ev := heap.Pop(&e.heap).(*event)
+		e.now = ev.at
+		e.sampleUpTo(e.now)
+		switch ev.kind {
+		case evArrival:
+			e.prefillQ = append(e.prefillQ, ev.req)
+		case evPrefillDone:
+			e.prefillDone(ev)
+		case evDecodeLand:
+			d := e.decodes[ev.inst]
+			d.pending = append(d.pending, ev.req)
+			if !d.stepping && !d.prefilling {
+				e.startStep(ev.inst)
+			}
+		case evStepDone:
+			if err := e.stepDone(ev.inst); err != nil {
+				return nil, err
+			}
+		}
+		e.dispatch()
+	}
+	if len(e.completed) != len(reqs) {
+		return nil, fmt.Errorf("servesim: %d of %d requests never completed (scheduling stall)",
+			len(reqs)-len(e.completed), len(reqs))
+	}
+	return e.report(), nil
+}
+
+func (e *engine) schedule(at units.Seconds, kind eventKind, inst int, req *reqState) {
+	e.seq++
+	heap.Push(&e.heap, &event{at: at, seq: e.seq, kind: kind, inst: inst, req: req})
+}
+
+// dispatch hands queued prefill work to idle capacity. It runs after
+// every event so newly queued (or preempted) requests and newly idle
+// instances always meet; instance scan order is fixed, keeping the
+// assignment deterministic.
+func (e *engine) dispatch() {
+	if e.cfg.Colocated {
+		for i, d := range e.decodes {
+			if len(e.prefillQ) == 0 {
+				return
+			}
+			if !d.stepping && !d.prefilling {
+				e.startStep(i)
+			}
+		}
+		return
+	}
+	for i, p := range e.prefills {
+		if len(e.prefillQ) == 0 {
+			return
+		}
+		if !p.busy {
+			req := e.prefillQ[0]
+			e.prefillQ = e.prefillQ[1:]
+			p.busy = true
+			e.schedule(e.now+e.cfg.Latency.PrefillTime(req.ctxForPrefill()), evPrefillDone, i, req)
+		}
+	}
+}
+
+// ctxForPrefill is the context a (re-)prefill must process: the prompt
+// plus, after a preemption, every token generated so far (recompute).
+func (r *reqState) ctxForPrefill() int {
+	return r.PromptTokens + r.generated
+}
+
+// prefillDone completes a prefill: the request's first token is
+// emitted here (prefill computes the logits of token one), then the
+// KV moves to a decode instance.
+func (e *engine) prefillDone(ev *event) {
+	req := ev.req
+	if e.cfg.Colocated {
+		e.colocatedPrefillDone(ev.inst, req)
+		return
+	}
+	e.prefills[ev.inst].busy = false
+	e.emitFirstToken(req)
+	if req.remaining() == 0 {
+		e.complete(req)
+		return
+	}
+	// Route to the decode instance with the most free KV pages (ties:
+	// lowest index), after the KV migration delay.
+	best, bestFree := 0, -1
+	for i, d := range e.decodes {
+		if free := d.kv.free(); free > bestFree {
+			best, bestFree = i, free
+		}
+	}
+	var transfer units.Seconds
+	if e.cfg.TransferBW > 0 {
+		transfer = e.cfg.Latency.KVBytesForContext(req.ctx) / e.cfg.TransferBW
+	}
+	e.schedule(e.now+transfer, evDecodeLand, best, req)
+}
+
+func (e *engine) emitFirstToken(req *reqState) {
+	req.ctx = req.ctxForPrefill()
+	if !req.resumed {
+		req.firstToken = e.now
+		req.generated = 1
+		req.ctx = req.PromptTokens + 1
+	}
+}
+
+func (e *engine) complete(req *reqState) {
+	req.done = e.now
+	e.completed = append(e.completed, req)
+}
+
+// startStep begins the next unit of work on a decode instance: for a
+// colocated instance possibly a stall-the-world prefill, otherwise
+// admission plus one continuous-batching decode step.
+func (e *engine) startStep(inst int) {
+	d := e.decodes[inst]
+
+	if e.cfg.Colocated && len(e.prefillQ) > 0 && len(d.active) < e.cfg.MaxBatch &&
+		(len(d.active) == 0 || d.sincePrefill >= e.cfg.ColocatedStride) {
+		req := e.prefillQ[0]
+		// A colocated request decodes in place, so reserve its full
+		// final context up front (conservative policy: a stall-the-
+		// world prefill must never later become an unpreemptable
+		// grower). If the pool is full the prefill waits for
+		// completions to free pages.
+		pages := e.cfg.KV.PagesFor(req.PromptTokens + req.OutputTokens)
+		if d.kv.tryAlloc(pages) {
+			e.prefillQ = e.prefillQ[1:]
+			req.pages = pages
+			d.prefilling = true
+			e.notePeakOcc()
+			e.schedule(e.now+e.cfg.Latency.PrefillTime(req.ctxForPrefill()), evPrefillDone, inst, req)
+			return
+		}
+	}
+
+	// Admit landed requests in FIFO order while batch slots and KV
+	// pages allow; the head of the queue blocks (no reordering).
+	for len(d.active) < e.cfg.MaxBatch && len(d.pending) > 0 {
+		req := d.pending[0]
+		pages := e.cfg.KV.PagesFor(req.ctx)
+		if !d.kv.tryAlloc(pages) {
+			break
+		}
+		req.pages = pages
+		d.admitCounter++
+		req.admitSeq = d.admitCounter
+		d.pending = d.pending[1:]
+		d.active = append(d.active, req)
+		e.notePeakOcc()
+	}
+	if len(d.active) == 0 {
+		d.stepping = false
+		return
+	}
+
+	var attn batchAttention
+	for _, req := range d.active {
+		e.cfg.Latency.addContext(&attn, req.ctx)
+	}
+	dt := e.cfg.Latency.DecodeStepTime(len(d.active), attn) * e.mtpFactor
+	d.stepping = true
+	d.sincePrefill++
+	e.steps++
+	e.stepBatch += len(d.active)
+	e.schedule(e.now+dt, evStepDone, inst, nil)
+}
+
+// colocatedPrefillDone finishes a stall-the-world prefill on a
+// colocated instance: the request joins that instance's batch directly
+// (its KV pages were reserved at prefill start).
+func (e *engine) colocatedPrefillDone(inst int, req *reqState) {
+	d := e.decodes[inst]
+	d.prefilling = false
+	d.sincePrefill = 0
+	e.emitFirstToken(req)
+	if req.remaining() == 0 {
+		d.kv.release(req.pages)
+		req.pages = 0
+		e.complete(req)
+	} else {
+		d.admitCounter++
+		req.admitSeq = d.admitCounter
+		d.active = append(d.active, req)
+	}
+	e.startStep(inst)
+}
+
+// stepDone advances every active request by one decode iteration:
+// token emission (plus MTP-accepted drafts), then completion, then KV
+// growth with preemption on pool exhaustion. Finished requests release
+// their pages before anyone grows, so a request that just emitted its
+// last token can never be chosen as a preemption victim.
+func (e *engine) stepDone(inst int) error {
+	d := e.decodes[inst]
+	for _, req := range d.active {
+		emitted := 1
+		if c := e.cfg.MTP; c != nil {
+			for i := 0; i < c.Modules && req.generated+emitted < req.OutputTokens; i++ {
+				if e.rng.Float64() >= c.Acceptance {
+					break
+				}
+				emitted++
+			}
+		}
+		if emitted > req.remaining() {
+			emitted = req.remaining()
+		}
+		req.generated += emitted
+		e.stepTokens += emitted
+		req.ctx += emitted
+	}
+
+	unfinished := d.active[:0]
+	for _, req := range d.active {
+		if req.remaining() == 0 {
+			d.kv.release(req.pages)
+			req.pages = 0
+			e.complete(req)
+		} else {
+			unfinished = append(unfinished, req)
+		}
+	}
+	for i := len(unfinished); i < len(d.active); i++ {
+		d.active[i] = nil
+	}
+	d.active = unfinished
+
+	preempted := make(map[*reqState]bool)
+	for _, req := range d.active {
+		if preempted[req] {
+			continue
+		}
+		if need := e.cfg.KV.PagesFor(req.ctx) - req.pages; need > 0 {
+			for !d.kv.tryAlloc(need) {
+				victim := e.pickVictim(d, req, preempted)
+				if victim == nil {
+					return fmt.Errorf("servesim: KV exhausted with no preemption victim on instance %d", inst)
+				}
+				preempted[victim] = true
+				d.kv.release(victim.pages)
+				victim.pages = 0
+			}
+			req.pages += need
+			e.notePeakOcc()
+		}
+	}
+
+	if len(preempted) > 0 {
+		keep := d.active[:0]
+		for _, req := range d.active {
+			if preempted[req] {
+				// Recompute-style preemption: pages are gone, the
+				// request re-prefills prompt + generated tokens, then
+				// resumes.
+				req.resumed = true
+				req.preempted++
+				e.preempts++
+				req.ctx = req.ctxForPrefill()
+				e.prefillQ = append(e.prefillQ, req)
+			} else {
+				keep = append(keep, req)
+			}
+		}
+		for i := len(keep); i < len(d.active); i++ {
+			d.active[i] = nil
+		}
+		d.active = keep
+	}
+	e.startStep(inst)
+	return nil
+}
+
+// pickVictim selects the latest-admitted unfinished active request
+// other than the growing one (and not already preempted this step) —
+// the vLLM recompute policy: evict the newest work, keep the oldest
+// streams running.
+func (e *engine) pickVictim(d *decodeUnit, grower *reqState, preempted map[*reqState]bool) *reqState {
+	var victim *reqState
+	for _, req := range d.active {
+		if req == grower || preempted[req] || req.pages == 0 {
+			continue
+		}
+		if victim == nil || req.admitSeq > victim.admitSeq {
+			victim = req
+		}
+	}
+	return victim
+}
+
+func (e *engine) notePeakOcc() {
+	var used, total int
+	for _, d := range e.decodes {
+		used += d.kv.used
+		total += d.kv.total
+	}
+	if total == 0 {
+		return
+	}
+	if occ := float64(used) / float64(total); occ > e.peakOcc {
+		e.peakOcc = occ
+	}
+}
+
+// sampleUpTo records timeline points for every sampling instant that
+// has passed; state between events is constant, so carrying the
+// current snapshot forward is exact.
+func (e *engine) sampleUpTo(t units.Seconds) {
+	for e.nextSample <= t && len(e.samples) < 4*timelineSamples {
+		var batch int
+		var used, total int
+		for _, d := range e.decodes {
+			batch += len(d.active)
+			used += d.kv.used
+			total += d.kv.total
+		}
+		occ := 0.0
+		if total > 0 {
+			occ = float64(used) / float64(total)
+		}
+		e.samples = append(e.samples, TimelinePoint{
+			Time:        e.nextSample,
+			ActiveBatch: batch,
+			KVOccupancy: occ,
+		})
+		e.nextSample += e.sampleStep
+	}
+}

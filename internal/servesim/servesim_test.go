@@ -1,0 +1,311 @@
+package servesim
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"dsv3/internal/inference"
+	"dsv3/internal/mtp"
+	"dsv3/internal/parallel"
+	"dsv3/internal/units"
+)
+
+func testWorkload(rate float64, requests int) Workload {
+	return Workload{
+		Arrival:    ArrivalPoisson,
+		RatePerSec: rate,
+		Requests:   requests,
+		Prompt:     LogNormal(1024, 0.5),
+		Output:     LogNormal(512, 0.5),
+	}
+}
+
+func mustRun(t *testing.T, cfg Config, w Workload) *Report {
+	t.Helper()
+	rep, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// Same seed + config must reproduce the report byte for byte — the
+// package determinism contract.
+func TestRunDeterminism(t *testing.T) {
+	cfg := V3ServeConfig()
+	w := testWorkload(8, 150)
+	a, err := json.Marshal(mustRun(t, cfg, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(mustRun(t, cfg, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("same seed produced different reports:\n%s\n%s", a, b)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	cfg := V3ServeConfig()
+	w := testWorkload(8, 150)
+	a := mustRun(t, cfg, w)
+	cfg.Seed = 99
+	b := mustRun(t, cfg, w)
+	if a.TTFT.Mean == b.TTFT.Mean && a.E2E.Mean == b.E2E.Mean {
+		t.Error("different seeds produced identical latency distributions")
+	}
+}
+
+// The rate sweep must be byte-identical for any worker count: each
+// point's engine derives its own seed and shares nothing.
+func TestRateSweepWorkerParity(t *testing.T) {
+	cfg := V3ServeConfig()
+	w := testWorkload(0, 100)
+	rates := []float64{2, 5, 8}
+	run := func(workers int) string {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		pts, err := RateSweep(cfg, w, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if serial, par := run(1), run(8); serial != par {
+		t.Error("rate sweep differs between serial and parallel execution")
+	}
+}
+
+// With negligible compute the decode step must land exactly on the
+// paper's §2.3.2 headline: 32 tokens/device on 400G IB (50 GB/s) ->
+// 120.96 us of communication per layer, 14.76 ms TPOT under
+// dual-micro-batch overlap.
+func TestDecodeStepReproducesPaperTPOT(t *testing.T) {
+	l := V3LatencyModel()
+	l.Efficiency = 1
+	l.WeightBytes = 0
+	got := l.DecodeStepTime(32, batchAttention{})
+	ep := inference.V3EPConfig()
+	a, err := ep.Analyze(50 * units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got-a.TPOT) / a.TPOT; rel > 1e-12 {
+		t.Errorf("step time %.6fms, want paper TPOT %.6fms (rel %.2e)", got*1e3, a.TPOT*1e3, rel)
+	}
+	if math.Abs(a.TPOT-14.76e-3) > 0.01e-3 {
+		t.Errorf("paper TPOT drifted: %.4fms", a.TPOT*1e3)
+	}
+}
+
+// Larger batches and longer contexts never make a step faster, and the
+// KV-read leg must eventually dominate at long context.
+func TestDecodeStepMonotonic(t *testing.T) {
+	l := V3LatencyModel()
+	prev := 0.0
+	for _, b := range []int{1, 4, 16, 64} {
+		var attn batchAttention
+		for i := 0; i < b; i++ {
+			l.addContext(&attn, 4096)
+		}
+		dt := l.DecodeStepTime(b, attn)
+		if dt <= prev {
+			t.Errorf("step time not increasing at batch %d: %v <= %v", b, dt, prev)
+		}
+		prev = dt
+	}
+	var short, long batchAttention
+	l.addContext(&short, 512)
+	l.addContext(&long, 131072)
+	if l.DecodeStepTime(1, long) <= l.DecodeStepTime(1, short) {
+		t.Error("long context no slower than short")
+	}
+}
+
+func TestPrefillTime(t *testing.T) {
+	l := V3LatencyModel()
+	if l.PrefillTime(1024) <= l.PrefillTime(256) {
+		t.Error("prefill time not increasing in prompt length")
+	}
+	// At moderate prompt lengths prefill is dispatch/combine-bound:
+	// per-token comm bytes x tokens x layers / bandwidth.
+	want := l.commBytesPerToken() * 512 * float64(l.Model.Layers) / l.InterconnectBW
+	if got := l.PrefillTime(512); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("prefill(512) = %v, want comm-bound %v", got, want)
+	}
+}
+
+func TestKVConfigPaging(t *testing.T) {
+	k := KVConfig{CapacityBytes: 1 << 30, PageTokens: 64, BytesPerElem: 1}
+	if got := k.PagesFor(1); got != 1 {
+		t.Errorf("PagesFor(1) = %d", got)
+	}
+	if got := k.PagesFor(64); got != 1 {
+		t.Errorf("PagesFor(64) = %d", got)
+	}
+	if got := k.PagesFor(65); got != 2 {
+		t.Errorf("PagesFor(65) = %d", got)
+	}
+	m := V3LatencyModel().Model
+	total := k.TotalPages(m)
+	// 576 latent+rope elements x 61 layers x 64 tokens per page.
+	wantPage := 576.0 * 61 * 64
+	if want := int((1 << 30) / wantPage); total != want {
+		t.Errorf("TotalPages = %d, want %d", total, want)
+	}
+	p := newKVPool(k, m)
+	if !p.tryAlloc(total) || p.tryAlloc(1) {
+		t.Error("pool over- or under-allocates")
+	}
+	p.release(total)
+	if p.used != 0 || p.occupancy() != 0 {
+		t.Errorf("release did not restore pool: %+v", p)
+	}
+}
+
+// A KV pool sized just above one worst-case request forces constant
+// eviction; every request must still complete, via recompute.
+func TestPreemptionUnderKVPressure(t *testing.T) {
+	cfg := V3ServeConfig()
+	cfg.PrefillInstances, cfg.DecodeInstances = 1, 1
+	w := Workload{
+		Arrival:    ArrivalPoisson,
+		RatePerSec: 20,
+		Requests:   40,
+		Prompt:     Fixed(512),
+		Output:     Fixed(512),
+	}
+	perToken := cfg.Latency.Model.KVCacheBytesPerToken(cfg.KV.BytesPerElem)
+	// Room for ~1.5 worst-case contexts: admission succeeds, growth evicts.
+	cfg.KV.CapacityBytes = perToken * 1024 * 1.5
+	rep := mustRun(t, cfg, w)
+	if rep.Preemptions == 0 {
+		t.Error("expected preemptions under KV pressure")
+	}
+	if rep.Completed != w.Requests {
+		t.Errorf("completed %d of %d requests", rep.Completed, w.Requests)
+	}
+	if rep.PeakKVOccupancy < 0.6 {
+		t.Errorf("peak KV occupancy %.2f suspiciously low for a pressured pool", rep.PeakKVOccupancy)
+	}
+}
+
+// Too-small pools must be rejected up front rather than livelocking.
+func TestValidateRejectsImpossibleKV(t *testing.T) {
+	cfg := V3ServeConfig()
+	cfg.KV.CapacityBytes = 1 << 20
+	_, err := Run(cfg, testWorkload(5, 10))
+	if err == nil || !strings.Contains(err.Error(), "worst-case request") {
+		t.Fatalf("want worst-case KV error, got %v", err)
+	}
+}
+
+// The disaggregation headline: at high arrival rates a balanced
+// prefill:decode split improves p99 TTFT over decode-SLO-protecting
+// colocation without degrading TPOT, and beats aggressive colocation
+// on TPOT interference.
+func TestDisaggregationImprovesTTFTWithoutTPOTRegression(t *testing.T) {
+	w := testWorkload(12, 400)
+	base := V3ServeConfig()
+	base.KV.CapacityBytes = 2 * units.GB
+
+	protective := base
+	protective.Colocated = true
+	protective.ColocatedStride = 128
+	protective.PrefillInstances, protective.DecodeInstances = 4, 4
+
+	aggressive := base
+	aggressive.Colocated = true
+	aggressive.ColocatedStride = 4
+	aggressive.PrefillInstances, aggressive.DecodeInstances = 4, 4
+
+	disagg := base
+	disagg.PrefillInstances, disagg.DecodeInstances = 4, 4
+
+	prot := mustRun(t, protective, w)
+	aggr := mustRun(t, aggressive, w)
+	dis := mustRun(t, disagg, w)
+
+	if dis.TTFT.P99 >= prot.TTFT.P99 {
+		t.Errorf("disagg p99 TTFT %.3fs not better than protective colocated %.3fs", dis.TTFT.P99, prot.TTFT.P99)
+	}
+	if dis.TPOT.P99 > prot.TPOT.P99*1.05 {
+		t.Errorf("disagg p99 TPOT %.4fs degrades vs protective colocated %.4fs", dis.TPOT.P99, prot.TPOT.P99)
+	}
+	if dis.TPOT.P99 >= aggr.TPOT.P99 {
+		t.Errorf("disagg p99 TPOT %.4fs not better than aggressive colocated %.4fs (prefill interference should hurt colocated)",
+			dis.TPOT.P99, aggr.TPOT.P99)
+	}
+}
+
+// A single traced request has fully analytic latency: TTFT is exactly
+// the prefill time, and each decode step advances one token.
+func TestTraceReplayAnalytic(t *testing.T) {
+	cfg := V3ServeConfig()
+	const prompt, output = 600, 4
+	w := Workload{Arrival: ArrivalTrace, Trace: []Request{{Arrival: 0.5, PromptTokens: prompt, OutputTokens: output}}}
+	rep := mustRun(t, cfg, w)
+	wantTTFT := cfg.Latency.PrefillTime(prompt)
+	if math.Abs(rep.TTFT.Mean-wantTTFT) > 1e-9 {
+		t.Errorf("TTFT %.6f, want prefill time %.6f", rep.TTFT.Mean, wantTTFT)
+	}
+	if rep.DecodeSteps != output-1 {
+		t.Errorf("decode steps %d, want %d", rep.DecodeSteps, output-1)
+	}
+	if rep.Completed != 1 || rep.Preemptions != 0 {
+		t.Errorf("unexpected report: %+v", rep)
+	}
+}
+
+// MTP must lift tokens/step toward the analytic expectation and cut
+// TPOT accordingly.
+func TestMTPSpeculativeDecoding(t *testing.T) {
+	cfg := V3ServeConfig()
+	w := testWorkload(6, 200)
+	off := mustRun(t, cfg, w)
+
+	spec := mtp.V3Config()
+	cfg.MTP = &spec
+	on := mustRun(t, cfg, w)
+
+	if off.TokensPerStep != 1 {
+		t.Errorf("baseline tokens/step = %v, want 1", off.TokensPerStep)
+	}
+	want := spec.ExpectedTokensPerStep()
+	// Finishing requests truncate the last draft, so the simulated
+	// value sits slightly below the infinite-stream expectation.
+	if on.TokensPerStep < want-0.05 || on.TokensPerStep > want {
+		t.Errorf("MTP tokens/step = %.3f, want ~%.3f", on.TokensPerStep, want)
+	}
+	if on.TPOT.P50 >= off.TPOT.P50 {
+		t.Errorf("MTP did not improve median TPOT: %.4f vs %.4f", on.TPOT.P50, off.TPOT.P50)
+	}
+}
+
+func TestTimelineWellFormed(t *testing.T) {
+	rep := mustRun(t, V3ServeConfig(), testWorkload(8, 150))
+	if len(rep.Timeline) == 0 {
+		t.Fatal("no timeline samples")
+	}
+	prev := -1.0
+	for _, p := range rep.Timeline {
+		if p.Time <= prev {
+			t.Fatalf("timeline not strictly increasing at %v", p.Time)
+		}
+		prev = p.Time
+		if p.KVOccupancy < 0 || p.KVOccupancy > 1 || p.ActiveBatch < 0 {
+			t.Fatalf("malformed timeline point %+v", p)
+		}
+	}
+	if rep.MeanKVOccupancy < 0 || rep.MeanKVOccupancy > rep.PeakKVOccupancy {
+		t.Errorf("mean occupancy %v inconsistent with peak %v", rep.MeanKVOccupancy, rep.PeakKVOccupancy)
+	}
+}

@@ -1,0 +1,249 @@
+package servesim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dsv3/internal/parallel"
+	"dsv3/internal/units"
+)
+
+// Request is one user request entering the serving cluster.
+type Request struct {
+	ID      int
+	Arrival units.Seconds
+	// PromptTokens is the context to prefill; OutputTokens the total
+	// tokens to generate (>= 1; the first one is emitted by prefill).
+	PromptTokens int
+	OutputTokens int
+}
+
+// DistKind selects a token-length distribution.
+type DistKind int
+
+const (
+	// DistFixed always returns Mean.
+	DistFixed DistKind = iota
+	// DistUniform draws uniformly from [Min, Max].
+	DistUniform
+	// DistLogNormal draws Mean * exp(Sigma * N(0,1)), clamped to
+	// [Min, Max] — the heavy-tailed shape of real prompt/output lengths.
+	DistLogNormal
+)
+
+// String implements fmt.Stringer.
+func (k DistKind) String() string {
+	switch k {
+	case DistFixed:
+		return "fixed"
+	case DistUniform:
+		return "uniform"
+	case DistLogNormal:
+		return "lognormal"
+	}
+	return fmt.Sprintf("DistKind(%d)", int(k))
+}
+
+// LengthDist is a bounded token-length distribution. Min and Max bound
+// every sample (and size the simulator's worst-case KV admission
+// check), so they must be set for non-fixed kinds.
+type LengthDist struct {
+	Kind  DistKind
+	Mean  int
+	Sigma float64 // DistLogNormal: std of the underlying normal
+	Min   int
+	Max   int
+}
+
+// Fixed returns a degenerate distribution.
+func Fixed(n int) LengthDist { return LengthDist{Kind: DistFixed, Mean: n, Min: n, Max: n} }
+
+// LogNormal returns a heavy-tailed distribution with median mean,
+// clamped to [mean/4, 4*mean].
+func LogNormal(mean int, sigma float64) LengthDist {
+	return LengthDist{Kind: DistLogNormal, Mean: mean, Sigma: sigma, Min: (mean + 3) / 4, Max: 4 * mean}
+}
+
+// Validate checks the distribution.
+func (d LengthDist) Validate() error {
+	if d.Mean <= 0 {
+		return fmt.Errorf("servesim: length mean must be positive, got %d", d.Mean)
+	}
+	if d.Kind != DistFixed && (d.Min <= 0 || d.Max < d.Min) {
+		return fmt.Errorf("servesim: length bounds [%d,%d] invalid", d.Min, d.Max)
+	}
+	if d.Kind == DistLogNormal && d.Sigma < 0 {
+		return fmt.Errorf("servesim: negative sigma %v", d.Sigma)
+	}
+	return nil
+}
+
+// MaxTokens returns the largest value Sample can return.
+func (d LengthDist) MaxTokens() int {
+	if d.Kind == DistFixed {
+		return d.Mean
+	}
+	return d.Max
+}
+
+// Sample draws one length.
+func (d LengthDist) Sample(rng *rand.Rand) int {
+	switch d.Kind {
+	case DistUniform:
+		return d.Min + rng.Intn(d.Max-d.Min+1)
+	case DistLogNormal:
+		n := int(math.Round(float64(d.Mean) * math.Exp(d.Sigma*rng.NormFloat64())))
+		if n < d.Min {
+			return d.Min
+		}
+		if n > d.Max {
+			return d.Max
+		}
+		return n
+	default:
+		return d.Mean
+	}
+}
+
+// ArrivalKind selects the request arrival process.
+type ArrivalKind int
+
+const (
+	// ArrivalPoisson draws i.i.d. exponential interarrival gaps at
+	// RatePerSec — the memoryless heavy-traffic model.
+	ArrivalPoisson ArrivalKind = iota
+	// ArrivalUniform spaces requests exactly 1/RatePerSec apart — a
+	// deterministic load for calibration runs.
+	ArrivalUniform
+	// ArrivalTrace replays Workload.Trace verbatim.
+	ArrivalTrace
+)
+
+// Workload describes the request traffic offered to the cluster.
+type Workload struct {
+	Arrival    ArrivalKind
+	RatePerSec float64 // ArrivalPoisson / ArrivalUniform
+	Requests   int     // number of requests to generate
+
+	Prompt LengthDist
+	Output LengthDist
+
+	// Trace is replayed verbatim under ArrivalTrace (sorted by arrival;
+	// the other fields above are ignored).
+	Trace []Request
+}
+
+// Validate checks the workload.
+func (w Workload) Validate() error {
+	if w.Arrival == ArrivalTrace {
+		if len(w.Trace) == 0 {
+			return fmt.Errorf("servesim: trace workload with empty trace")
+		}
+		for i, r := range w.Trace {
+			if r.PromptTokens <= 0 || r.OutputTokens <= 0 || r.Arrival < 0 {
+				return fmt.Errorf("servesim: trace entry %d invalid: %+v", i, r)
+			}
+		}
+		return nil
+	}
+	if w.RatePerSec <= 0 {
+		return fmt.Errorf("servesim: arrival rate must be positive, got %v", w.RatePerSec)
+	}
+	if w.Requests <= 0 {
+		return fmt.Errorf("servesim: request count must be positive, got %d", w.Requests)
+	}
+	if err := w.Prompt.Validate(); err != nil {
+		return err
+	}
+	return w.Output.Validate()
+}
+
+// maxContextTokens returns the worst-case final context length
+// (prompt + output) of any single request.
+func (w Workload) maxContextTokens() int {
+	if w.Arrival == ArrivalTrace {
+		m := 0
+		for _, r := range w.Trace {
+			if c := r.PromptTokens + r.OutputTokens; c > m {
+				m = c
+			}
+		}
+		return m
+	}
+	return w.Prompt.MaxTokens() + w.Output.MaxTokens()
+}
+
+// Generate materializes the request stream. All randomness comes from
+// the seeded stream, so a (workload, seed) pair always produces the
+// same traffic; traces are returned as a sorted copy with IDs
+// renumbered in arrival order.
+func (w Workload) Generate(seed int64) []Request {
+	if w.Arrival == ArrivalTrace {
+		out := append([]Request(nil), w.Trace...)
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
+		for i := range out {
+			out[i].ID = i
+		}
+		return out
+	}
+	rng := parallel.NewRand(seed)
+	out := make([]Request, w.Requests)
+	var t units.Seconds
+	for i := range out {
+		if w.Arrival == ArrivalPoisson {
+			t += rng.ExpFloat64() / w.RatePerSec
+		} else {
+			t += 1 / w.RatePerSec
+		}
+		out[i] = Request{
+			ID:           i,
+			Arrival:      t,
+			PromptTokens: w.Prompt.Sample(rng),
+			OutputTokens: w.Output.Sample(rng),
+		}
+	}
+	return out
+}
+
+// ParseTrace reads a replayable trace: one request per line as
+// "arrival_seconds,prompt_tokens,output_tokens". Blank lines and
+// #-comments are skipped.
+func ParseTrace(r io.Reader) ([]Request, error) {
+	var out []Request
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("servesim: trace line %d: want arrival,prompt,output, got %q", line, text)
+		}
+		arr, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("servesim: trace line %d: %w", line, err)
+		}
+		prompt, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("servesim: trace line %d: %w", line, err)
+		}
+		output, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err != nil {
+			return nil, fmt.Errorf("servesim: trace line %d: %w", line, err)
+		}
+		out = append(out, Request{ID: len(out), Arrival: arr, PromptTokens: prompt, OutputTokens: output})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package servesim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func testRNG() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func TestPoissonArrivalRate(t *testing.T) {
+	w := Workload{Arrival: ArrivalPoisson, RatePerSec: 10, Requests: 5000, Prompt: Fixed(8), Output: Fixed(8)}
+	reqs := w.Generate(7)
+	if len(reqs) != 5000 {
+		t.Fatalf("generated %d requests", len(reqs))
+	}
+	mean := reqs[len(reqs)-1].Arrival / float64(len(reqs))
+	if math.Abs(mean-0.1) > 0.01 {
+		t.Errorf("mean interarrival %.4fs, want ~0.1s", mean)
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			t.Fatal("arrivals not monotone")
+		}
+		if reqs[i].ID != i {
+			t.Fatal("IDs not sequential")
+		}
+	}
+}
+
+func TestUniformArrivalSpacing(t *testing.T) {
+	w := Workload{Arrival: ArrivalUniform, RatePerSec: 4, Requests: 9, Prompt: Fixed(8), Output: Fixed(8)}
+	reqs := w.Generate(1)
+	for i, r := range reqs {
+		if want := float64(i+1) / 4; math.Abs(r.Arrival-want) > 1e-12 {
+			t.Errorf("request %d at %v, want %v", i, r.Arrival, want)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w := Workload{Arrival: ArrivalPoisson, RatePerSec: 5, Requests: 100, Prompt: LogNormal(256, 0.5), Output: LogNormal(64, 0.5)}
+	a, b := w.Generate(3), w.Generate(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := w.Generate(4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestLengthDistBounds(t *testing.T) {
+	d := LogNormal(256, 1.0)
+	rng := testRNG()
+	for i := 0; i < 10000; i++ {
+		n := d.Sample(rng)
+		if n < d.Min || n > d.Max {
+			t.Fatalf("sample %d outside [%d,%d]", n, d.Min, d.Max)
+		}
+	}
+	u := LengthDist{Kind: DistUniform, Mean: 10, Min: 5, Max: 15}
+	for i := 0; i < 1000; i++ {
+		if n := u.Sample(rng); n < 5 || n > 15 {
+			t.Fatalf("uniform sample %d outside [5,15]", n)
+		}
+	}
+	if Fixed(7).Sample(rng) != 7 {
+		t.Error("fixed distribution not fixed")
+	}
+}
+
+func TestTraceSortedAndRenumbered(t *testing.T) {
+	w := Workload{Arrival: ArrivalTrace, Trace: []Request{
+		{ID: 9, Arrival: 2, PromptTokens: 10, OutputTokens: 1},
+		{ID: 4, Arrival: 1, PromptTokens: 20, OutputTokens: 2},
+	}}
+	reqs := w.Generate(0)
+	if reqs[0].Arrival != 1 || reqs[0].ID != 0 || reqs[1].Arrival != 2 || reqs[1].ID != 1 {
+		t.Errorf("trace not sorted/renumbered: %+v", reqs)
+	}
+	// The input slice is untouched.
+	if w.Trace[0].ID != 9 {
+		t.Error("Generate mutated the input trace")
+	}
+}
+
+func TestParseTrace(t *testing.T) {
+	in := "# arrival,prompt,output\n0.0, 128, 32\n\n1.5,256,64\n"
+	reqs, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 || reqs[0].PromptTokens != 128 || reqs[1].Arrival != 1.5 || reqs[1].OutputTokens != 64 {
+		t.Errorf("parsed %+v", reqs)
+	}
+	for _, bad := range []string{"1.0,2", "x,1,2", "1,1.5,2", "1,2,z"} {
+		if _, err := ParseTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseTrace(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	cases := []Workload{
+		{Arrival: ArrivalPoisson, RatePerSec: 0, Requests: 1, Prompt: Fixed(1), Output: Fixed(1)},
+		{Arrival: ArrivalPoisson, RatePerSec: 1, Requests: 0, Prompt: Fixed(1), Output: Fixed(1)},
+		{Arrival: ArrivalPoisson, RatePerSec: 1, Requests: 1, Prompt: Fixed(0), Output: Fixed(1)},
+		{Arrival: ArrivalTrace},
+		{Arrival: ArrivalTrace, Trace: []Request{{Arrival: -1, PromptTokens: 1, OutputTokens: 1}}},
+	}
+	for i, w := range cases {
+		if err := w.Validate(); err == nil {
+			t.Errorf("case %d: want validation error for %+v", i, w)
+		}
+	}
+}

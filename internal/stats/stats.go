@@ -12,7 +12,8 @@ import (
 	"sort"
 )
 
-// Summary holds the usual descriptive statistics of a sample.
+// Summary holds the usual descriptive statistics of a sample,
+// including the tail percentiles every latency report needs.
 type Summary struct {
 	N      int
 	Mean   float64
@@ -20,6 +21,9 @@ type Summary struct {
 	Min    float64
 	Max    float64
 	Median float64
+	P50    float64
+	P95    float64
+	P99    float64
 }
 
 // Summarize computes a Summary over xs. It returns a zero Summary for an
@@ -50,6 +54,9 @@ func Summarize(xs []float64) Summary {
 	} else {
 		s.Median = (sorted[mid-1] + sorted[mid]) / 2
 	}
+	s.P50 = s.Median // percentileSorted(sorted, 50) reduces to the median for every n
+	s.P95 = percentileSorted(sorted, 95)
+	s.P99 = percentileSorted(sorted, 99)
 	return s
 }
 
@@ -159,6 +166,29 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// Percentiles returns the requested percentiles of xs, sorting the
+// sample once — the bulk form of Percentile for reporters that need
+// quantiles beyond Summary's P50/P95/P99 fields. An empty sample
+// yields all zeros.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+// percentileSorted is Percentile over an already-sorted non-empty
+// sample.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}

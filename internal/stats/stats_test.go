@@ -201,3 +201,54 @@ func TestSNRScaleInvariance(t *testing.T) {
 		}
 	}
 }
+
+func TestSummaryPercentileFields(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(100 - i) // 0..100, reversed to exercise sorting
+	}
+	s := Summarize(xs)
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 {
+		t.Errorf("percentile fields = %v/%v/%v, want 50/95/99", s.P50, s.P95, s.P99)
+	}
+	if s.P50 != s.Median {
+		t.Errorf("P50 %v != Median %v", s.P50, s.Median)
+	}
+}
+
+func TestSummaryPercentilesMatchPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	xs := make([]float64, 37)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	s := Summarize(xs)
+	for _, c := range []struct{ p, got float64 }{{50, s.P50}, {95, s.P95}, {99, s.P99}} {
+		if want := Percentile(xs, c.p); c.got != want {
+			t.Errorf("Summary p%.0f = %v, want Percentile's %v", c.p, c.got, want)
+		}
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	got := Percentiles(xs, 0, 50, 100)
+	want := []float64{1, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// One sort, same answers as repeated Percentile calls.
+	for _, p := range []float64{10, 25, 75, 90, 99} {
+		if a, b := Percentiles(xs, p)[0], Percentile(xs, p); a != b {
+			t.Errorf("Percentiles(%v) = %v, Percentile = %v", p, a, b)
+		}
+	}
+	if out := Percentiles(nil, 50, 99); out[0] != 0 || out[1] != 0 {
+		t.Errorf("empty Percentiles = %v, want zeros", out)
+	}
+	if out := Percentiles(xs); len(out) != 0 {
+		t.Errorf("no-ps Percentiles = %v, want empty", out)
+	}
+}
