@@ -63,7 +63,7 @@ func main() {
 	exps := dsv3.Experiments()
 	if *list {
 		for _, e := range exps {
-			fmt.Printf("%-13s seed=%-3d %s\n", e.Name, e.Seed, e.Desc)
+			fmt.Printf("%-14s seed=%-3d %s\n", e.Name, e.Seed, e.Desc)
 		}
 		return
 	}

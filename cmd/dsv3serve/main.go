@@ -14,6 +14,12 @@
 //	dsv3serve                              # 8 req/s Poisson on 2P+4D
 //	dsv3serve -rate 4,8,12                 # arrival-rate sweep
 //	dsv3serve -prefill 4 -decode 4         # resize the cluster
+//	dsv3serve -router p2c                  # routing policy (least-kv,
+//	                                       #   round-robin, p2c, shortest-queue)
+//	dsv3serve -find-capacity               # bisect for the max rate meeting
+//	                                       #   the -target SLO attainment
+//	dsv3serve -burst 2,8                   # bursty on/off arrivals (mean
+//	                                       #   on,off dwell seconds)
 //	dsv3serve -colocate -stride 32         # colocated continuous batching
 //	dsv3serve -mtp 0.85                    # MTP speculative decoding
 //	dsv3serve -trace requests.csv          # replay arrival,prompt,output lines
@@ -41,6 +47,10 @@ func main() {
 	tracePath := flag.String("trace", "", "replay a trace file (arrival_s,prompt,output per line) instead of Poisson traffic")
 	prefill := flag.Int("prefill", 2, "prefill instances")
 	decode := flag.Int("decode", 4, "decode instances")
+	routerName := flag.String("router", "least-kv", "instance-selection policy: least-kv, round-robin, p2c, or shortest-queue")
+	findCapacity := flag.Bool("find-capacity", false, "bisect for the max sustainable rate meeting -target SLO attainment instead of sweeping -rate")
+	target := flag.Float64("target", 0.9, "SLO attainment target for -find-capacity (0..1]")
+	burst := flag.String("burst", "", "bursty on/off arrivals: mean on,off dwell seconds (e.g. 2,8); empty keeps Poisson")
 	colocate := flag.Bool("colocate", false, "colocate prefill and decode on prefill+decode unified instances")
 	stride := flag.Int("stride", 4, "colocated: min decode steps between stall-the-world prefills")
 	maxBatch := flag.Int("batch", 64, "max decode batch per instance")
@@ -66,6 +76,11 @@ func main() {
 	cfg.MaxBatch = *maxBatch
 	cfg.KV.CapacityBytes = *kvGB * 1e9
 	cfg.Seed = *seed
+	policy, err := dsv3.ParseServeRouterPolicy(*routerName)
+	if err != nil {
+		fail(err)
+	}
+	cfg.Router = policy
 	if *mtpAccept > 0 {
 		spec := dsv3.MTPV3()
 		spec.Acceptance = *mtpAccept
@@ -77,6 +92,32 @@ func main() {
 		Requests: *requests,
 		Prompt:   dsv3.LogNormalLength(*promptMean, 0.5),
 		Output:   dsv3.LogNormalLength(*outputMean, 0.5),
+	}
+	if *burst != "" {
+		on, off, err := parseBurst(*burst)
+		if err != nil {
+			fail(err)
+		}
+		w.Arrival = dsv3.ArrivalBursty
+		w.BurstOnMean, w.BurstOffMean = on, off
+	}
+
+	if *findCapacity {
+		if *tracePath != "" {
+			fail(fmt.Errorf("dsv3serve: -find-capacity searches over arrival rates and cannot replay a -trace"))
+		}
+		planner := dsv3.DefaultServeCapacityPlanner()
+		planner.Target = *target
+		res, err := planner.Find(cfg, w)
+		if err != nil {
+			fail(err)
+		}
+		out := buildCapacityResult(res, *target, *seed, *timeline)
+		if !*deterministic {
+			out.Meta.WallTime = time.Since(start)
+		}
+		emit(format, out)
+		return
 	}
 
 	var pts []dsv3.ServeSweepPoint
@@ -111,6 +152,12 @@ func main() {
 	if !*deterministic {
 		res.Meta.WallTime = time.Since(start)
 	}
+	emit(format, res)
+}
+
+// emit renders one result in the selected format.
+func emit(format dsv3.ResultFormat, res *dsv3.ExperimentResult) {
+	var err error
 	switch format {
 	case results.FormatJSON:
 		err = results.EmitJSON(os.Stdout, res)
@@ -129,6 +176,21 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// parseBurst reads the -burst "onMean,offMean" dwell pair.
+func parseBurst(s string) (on, off float64, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("dsv3serve: bad -burst %q: want onMean,offMean seconds", s)
+	}
+	if on, err = strconv.ParseFloat(strings.TrimSpace(parts[0]), 64); err != nil {
+		return 0, 0, fmt.Errorf("dsv3serve: bad -burst %q: %w", s, err)
+	}
+	if off, err = strconv.ParseFloat(strings.TrimSpace(parts[1]), 64); err != nil {
+		return 0, 0, fmt.Errorf("dsv3serve: bad -burst %q: %w", s, err)
+	}
+	return on, off, nil
+}
+
 func parseRates(s string) ([]float64, error) {
 	var out []float64
 	for _, part := range strings.Split(s, ",") {
@@ -139,6 +201,63 @@ func parseRates(s string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// buildCapacityResult packs a capacity search into the shared results
+// model: the knee headline plus the probe trail, and optionally the
+// knee run's timeline.
+func buildCapacityResult(res *dsv3.ServeCapacityResult, target float64, seed int64, timeline bool) *dsv3.ExperimentResult {
+	knee := dsv3.NewExperimentTable("Capacity search: max sustainable rate within SLO",
+		dsv3.ExperimentColumn{Name: "Target", Unit: "%"},
+		dsv3.ExperimentColumn{Name: "Knee", Unit: "req/s"},
+		dsv3.ExperimentColumn{Name: "SLO@knee", Unit: "%"},
+		dsv3.ExperimentColumn{Name: "Goodput", Unit: "req/s"},
+		dsv3.ExperimentColumn{Name: "TTFT p99", Unit: "ms"},
+		dsv3.ExperimentColumn{Name: "TPOT p99", Unit: "ms"},
+		dsv3.ExperimentColumn{Name: "Preempt"},
+		dsv3.ExperimentColumn{Name: "Probes"},
+	)
+	r := res.Report
+	// A search that never broke the SLO hit the planner's rate ceiling:
+	// the knee is a lower bound, not a measurement.
+	kneeCell := dsv3.FloatCell("%.2f", res.MaxRate)
+	if res.Saturated {
+		kneeCell = dsv3.StrCell(fmt.Sprintf(">=%.2f (search ceiling)", res.MaxRate))
+	}
+	knee.Row(dsv3.FloatCell("%.0f%%", target*100),
+		kneeCell,
+		dsv3.FloatCell("%.1f%%", res.Attainment*100),
+		dsv3.FloatCell("%.2f", r.GoodputRPS),
+		dsv3.FloatCell("%.0f", r.TTFT.P99*1e3), dsv3.FloatCell("%.2f", r.TPOT.P99*1e3),
+		dsv3.IntCell(r.Preemptions), dsv3.IntCell(len(res.Probes)))
+
+	probes := dsv3.NewExperimentTable("Probes (bisection trail)",
+		dsv3.ExperimentColumn{Name: "Rate", Unit: "req/s"},
+		dsv3.ExperimentColumn{Name: "SLO", Unit: "%"},
+		dsv3.ExperimentColumn{Name: "Sustainable"})
+	for _, p := range res.Probes {
+		verdict := "no"
+		if p.Sustainable {
+			verdict = "yes"
+		}
+		probes.Row(dsv3.FloatCell("%.2f", p.RatePerSec),
+			dsv3.FloatCell("%.1f%%", p.Attainment*100), dsv3.StrCell(verdict))
+	}
+	tables := []*dsv3.ExperimentTable{knee, probes}
+	if timeline {
+		tl := dsv3.NewExperimentTable("Timeline: knee run",
+			dsv3.ExperimentColumn{Name: "Time", Unit: "s"},
+			dsv3.ExperimentColumn{Name: "Batch"},
+			dsv3.ExperimentColumn{Name: "KV", Unit: "%"})
+		for _, s := range r.Timeline {
+			tl.Row(dsv3.FloatCell("%.2f", s.Time), dsv3.IntCell(s.ActiveBatch),
+				dsv3.FloatCell("%.1f%%", s.KVOccupancy*100))
+		}
+		tables = append(tables, tl)
+	}
+	out := dsv3.NewExperimentResult("dsv3serve", "SLO capacity search", tables...)
+	out.Meta.Seed = seed
+	return out
 }
 
 // buildResult packs the sweep into the shared results model so every

@@ -278,23 +278,45 @@ type (
 	ServeKVConfig     = servesim.KVConfig
 	ServeLengthDist   = servesim.LengthDist
 	ServeSweepPoint   = servesim.SweepPoint
+	// ServeRouter is the pluggable instance-selection policy interface;
+	// ServeRouterPolicy names the built-ins (ServeConfig.Router), and
+	// ServeInstanceLoad is the candidate snapshot a router picks over.
+	ServeRouter       = servesim.Router
+	ServeRouterPolicy = servesim.RouterPolicy
+	ServeInstanceLoad = servesim.InstanceLoad
+	// ServeCapacityPlanner bisects for the max sustainable arrival rate
+	// meeting a target SLO attainment — the per-fleet goodput knee.
+	ServeCapacityPlanner = servesim.CapacityPlanner
+	ServeCapacityResult  = servesim.CapacityResult
+	ServeCapacityProbe   = servesim.CapacityProbe
 )
 
 const (
 	ArrivalPoisson = servesim.ArrivalPoisson
 	ArrivalUniform = servesim.ArrivalUniform
 	ArrivalTrace   = servesim.ArrivalTrace
+	ArrivalBursty  = servesim.ArrivalBursty
+	ArrivalDiurnal = servesim.ArrivalDiurnal
+
+	RouteLeastKV       = servesim.RouteLeastKV
+	RouteRoundRobin    = servesim.RouteRoundRobin
+	RoutePowerOfTwo    = servesim.RoutePowerOfTwo
+	RouteShortestQueue = servesim.RouteShortestQueue
 )
 
 var (
-	RunServe        = servesim.Run
-	ServeRateSweep  = servesim.RateSweep
-	V3ServeConfig   = servesim.V3ServeConfig
-	V3ServeLatency  = servesim.V3LatencyModel
-	DefaultServeSLO = servesim.DefaultSLO
-	ParseServeTrace = servesim.ParseTrace
-	FixedLength     = servesim.Fixed
-	LogNormalLength = servesim.LogNormal
+	RunServe                    = servesim.Run
+	ServeRateSweep              = servesim.RateSweep
+	V3ServeConfig               = servesim.V3ServeConfig
+	V3ServeLatency              = servesim.V3LatencyModel
+	DefaultServeSLO             = servesim.DefaultSLO
+	ParseServeTrace             = servesim.ParseTrace
+	FixedLength                 = servesim.Fixed
+	LogNormalLength             = servesim.LogNormal
+	NewServeRouter              = servesim.NewRouter
+	ParseServeRouterPolicy      = servesim.ParseRouterPolicy
+	ServeRouterPolicies         = servesim.RouterPolicies
+	DefaultServeCapacityPlanner = servesim.DefaultCapacityPlanner
 )
 
 // Training (Table 4).
@@ -387,4 +409,17 @@ var (
 	OverlapResult          = experiments.OverlapAblationResult
 	ContentionResult       = experiments.BandwidthContentionResult
 	SDCResultTable         = experiments.SDCDetectionResult
+)
+
+// Serving studies: the router shoot-out and the SLO capacity knee per
+// fleet shape (serve-router / serve-capacity catalogue entries).
+type ServeCapacityStudyPoint = experiments.CapacityStudyPoint
+
+var (
+	ServeRouterShootout       = experiments.RouterShootout
+	ServeCapacityStudy        = experiments.CapacityStudy
+	ServeRouterShootoutResult = experiments.RouterShootoutResult
+	ServeCapacityStudyResult  = experiments.CapacityStudyResult
+	RenderServeRouters        = experiments.RenderRouterShootout
+	RenderServeCapacity       = experiments.RenderCapacityStudy
 )

@@ -12,15 +12,17 @@ import (
 // experiment definition — the golden corpus (testdata/golden) pins the
 // outputs they produce.
 const (
-	SeedFigure7     = 7
-	SeedMTP         = 7
-	SeedAccum       = 13
-	SeedLogFMT      = 17
-	SeedNodeLimited = 19
-	SeedSDC         = 29
-	SeedServe       = 41
-	SeedServeDisagg = 43
-	SeedServeSpec   = 47
+	SeedFigure7       = 7
+	SeedMTP           = 7
+	SeedAccum         = 13
+	SeedLogFMT        = 17
+	SeedNodeLimited   = 19
+	SeedSDC           = 29
+	SeedServe         = 41
+	SeedServeDisagg   = 43
+	SeedServeSpec     = 47
+	SeedServeRouter   = 53
+	SeedServeCapacity = 59
 )
 
 // Options configure one catalogue runner invocation.
@@ -147,6 +149,10 @@ func Catalogue() []Runner {
 			func(o Options) (*results.Table, error) { return DisaggRatioStudyResult(SeedServeDisagg, o.Quick) }),
 		one("serve-spec", "serving: MTP speculative decoding under load", SeedServeSpec,
 			func(o Options) (*results.Table, error) { return SpeculativeServingResult(SeedServeSpec, o.Quick) }),
+		one("serve-router", "serving: router policy shoot-out at fixed load", SeedServeRouter,
+			func(o Options) (*results.Table, error) { return RouterShootoutResult(SeedServeRouter, o.Quick) }),
+		one("serve-capacity", "serving: SLO capacity knee vs fleet shape and router", SeedServeCapacity,
+			func(o Options) (*results.Table, error) { return CapacityStudyResult(SeedServeCapacity, o.Quick) }),
 	}
 }
 

@@ -84,6 +84,8 @@ func TestParallelSerialParity(t *testing.T) {
 		{"serve", func() (string, error) { return RenderServeLoadSweep(SeedServe, true) }},
 		{"serve-disagg", func() (string, error) { return RenderDisaggRatioStudy(SeedServeDisagg, true) }},
 		{"serve-spec", func() (string, error) { return RenderSpeculativeServing(SeedServeSpec, true) }},
+		{"serve-router", func() (string, error) { return RenderRouterShootout(SeedServeRouter, true) }},
+		{"serve-capacity", func() (string, error) { return RenderCapacityStudy(SeedServeCapacity, true) }},
 		{"accum", func() (string, error) { return RenderAccumulationAblation(13) }},
 		{"logfmt", func() (string, error) { return RenderLogFMT(17) }},
 		{"nodelimit", func() (string, error) { return RenderNodeLimited(19) }},

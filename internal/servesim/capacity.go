@@ -1,0 +1,176 @@
+package servesim
+
+import (
+	"fmt"
+)
+
+// CapacityPlanner searches for the maximum sustainable arrival rate of
+// a (Config, Workload) pair: the highest Poisson (or bursty/diurnal)
+// rate whose SLO attainment still meets Target — the "goodput knee"
+// that answers how much traffic a given fleet shape can serve within
+// SLO. The search doubles HiRate until attainment drops below Target,
+// then bisects the bracket.
+//
+// Every probe runs the workload at a candidate rate with the
+// configuration's own seed, so the search is a pure function of
+// (Config, Workload): probes at the same rate see identical traffic,
+// attainment is (near-)monotone in rate, and the result is
+// byte-identical on every run and for any worker count when fanned out
+// by an experiment sweep.
+type CapacityPlanner struct {
+	// Target is the required SLO attainment in (0, 1].
+	Target float64
+	// LoRate seeds the bracket: the search assumes (and verifies) this
+	// rate is sustainable; if it is not, the planner reports MaxRate 0.
+	LoRate float64
+	// HiRate is the first overload probe; it is doubled until
+	// unsustainable, capped at MaxRate.
+	HiRate float64
+	// MaxRate bounds the doubling phase.
+	MaxRate float64
+	// Tolerance is the relative bracket width (hi-lo)/hi at which
+	// bisection stops.
+	Tolerance float64
+	// MaxIters caps the number of bisection steps.
+	MaxIters int
+}
+
+// DefaultCapacityPlanner returns the reference search: 90% attainment,
+// bracket seeded at [1, 4] req/s, 4% resolution.
+func DefaultCapacityPlanner() CapacityPlanner {
+	return CapacityPlanner{
+		Target:    0.9,
+		LoRate:    1,
+		HiRate:    4,
+		MaxRate:   4096,
+		Tolerance: 0.04,
+		MaxIters:  32,
+	}
+}
+
+// CapacityProbe is one evaluated rate of a capacity search.
+type CapacityProbe struct {
+	RatePerSec  float64
+	Attainment  float64
+	Sustainable bool
+}
+
+// CapacityResult is the outcome of a capacity search.
+type CapacityResult struct {
+	// MaxRate is the highest rate verified to meet Target (the knee);
+	// 0 when even LoRate misses it.
+	MaxRate float64
+	// Attainment is the SLO attainment measured at MaxRate.
+	Attainment float64
+	// Saturated marks a search that hit MaxRate while still meeting
+	// Target — the true knee lies above the configured ceiling.
+	Saturated bool
+	// Report is the full simulation report at MaxRate (at LoRate when
+	// MaxRate is 0, so the caller can inspect why admission failed).
+	Report *Report
+	// Probes lists every evaluated rate in evaluation order.
+	Probes []CapacityProbe
+	// Iterations counts the simulation runs the search spent.
+	Iterations int
+}
+
+// Validate checks the planner parameters.
+func (p CapacityPlanner) Validate() error {
+	if p.Target <= 0 || p.Target > 1 {
+		return fmt.Errorf("servesim: capacity target must be in (0,1], got %v", p.Target)
+	}
+	if p.LoRate <= 0 || p.HiRate <= p.LoRate || p.MaxRate < p.HiRate {
+		return fmt.Errorf("servesim: capacity bracket invalid: lo %v, hi %v, max %v", p.LoRate, p.HiRate, p.MaxRate)
+	}
+	if p.Tolerance <= 0 || p.Tolerance >= 1 {
+		return fmt.Errorf("servesim: capacity tolerance must be in (0,1), got %v", p.Tolerance)
+	}
+	if p.MaxIters <= 0 {
+		return fmt.Errorf("servesim: capacity iteration cap must be positive, got %d", p.MaxIters)
+	}
+	return nil
+}
+
+// Find runs the capacity search on the cluster and workload. The
+// workload's RatePerSec is overridden by each probe; trace workloads
+// have no rate to search over and are rejected.
+func (p CapacityPlanner) Find(cfg Config, w Workload) (*CapacityResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if w.Arrival == ArrivalTrace {
+		return nil, fmt.Errorf("servesim: capacity search needs a rate-parameterized workload, not a trace")
+	}
+
+	res := &CapacityResult{}
+	probe := func(rate float64) (*Report, bool, error) {
+		pw := w
+		pw.RatePerSec = rate
+		rep, err := Run(cfg, pw)
+		if err != nil {
+			return nil, false, err
+		}
+		ok := rep.SLOAttainment >= p.Target
+		res.Probes = append(res.Probes, CapacityProbe{RatePerSec: rate, Attainment: rep.SLOAttainment, Sustainable: ok})
+		res.Iterations++
+		return rep, ok, nil
+	}
+
+	lo := p.LoRate
+	loRep, ok, err := probe(lo)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		// Even the bracket floor misses the target: report MaxRate 0
+		// with the floor's report attached for diagnosis.
+		res.Attainment = loRep.SLOAttainment
+		res.Report = loRep
+		return res, nil
+	}
+	best, bestRep := lo, loRep
+
+	// Doubling phase: push hi until the SLO breaks or the ceiling hits.
+	hi := p.HiRate
+	for {
+		rep, ok, err := probe(hi)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		best, bestRep = hi, rep
+		lo = hi
+		if hi >= p.MaxRate {
+			res.Saturated = true
+			res.MaxRate = best
+			res.Attainment = bestRep.SLOAttainment
+			res.Report = bestRep
+			return res, nil
+		}
+		hi *= 2
+		if hi > p.MaxRate {
+			hi = p.MaxRate
+		}
+	}
+
+	// Bisection phase: [lo sustainable, hi unsustainable].
+	for i := 0; i < p.MaxIters && (hi-lo) > p.Tolerance*hi; i++ {
+		mid := (lo + hi) / 2
+		rep, ok, err := probe(mid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			best, bestRep = mid, rep
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	res.MaxRate = best
+	res.Attainment = bestRep.SLOAttainment
+	res.Report = bestRep
+	return res, nil
+}

@@ -123,8 +123,11 @@ func (l LatencyModel) DecodeStepTime(batch int, attn batchAttention) units.Secon
 
 // PrefillTime returns the duration of prefilling a prompt of the given
 // length on one prefill instance: the max of the compute roofline
-// (linear plus causal attention FLOPs) and the expert-parallel
-// dispatch/combine traffic for all prompt tokens.
+// (linear plus causal attention FLOPs), the weight-streaming roofline
+// (the resident weights are read once regardless of prompt length — the
+// same memory leg DecodeStepTime pays, which floors short-prompt
+// prefills), and the expert-parallel dispatch/combine traffic for all
+// prompt tokens.
 func (l LatencyModel) PrefillTime(promptTokens int) units.Seconds {
 	tokens := float64(promptTokens)
 	a := l.Model.Attention
@@ -132,6 +135,9 @@ func (l LatencyModel) PrefillTime(promptTokens int) units.Seconds {
 	attn := 2 * float64(a.NumQueryHeads) * float64(a.QKDim()+a.VDim()) *
 		tokens * tokens / 2 * float64(l.Model.Layers)
 	compute := (linear + attn) / (l.Accel.PeakFLOPS * l.Efficiency)
+	if stream := l.WeightBytes / (l.Accel.MemBandwidth * l.Efficiency); stream > compute {
+		compute = stream
+	}
 
 	comm := l.commBytesPerToken() * tokens * float64(l.Model.Layers) / l.InterconnectBW
 	if comm > compute {

@@ -9,7 +9,11 @@ import (
 )
 
 // timelineSamples is the nominal number of batch/KV-occupancy timeline
-// points a run records (the tail of a run may add up to 3x more).
+// points a run records. The grid is sized from the estimated horizon,
+// so a short makespan records fewer points; the buffer is capped at
+// 4*timelineSamples, and when an overloaded makespan would overflow it
+// the sampler halves resolution in place (decimate + double the
+// stride) so the timeline always spans the full run.
 const timelineSamples = 64
 
 // TimelinePoint is one sampled instant of cluster state.

@@ -1,0 +1,200 @@
+package servesim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dsv3/internal/parallel"
+)
+
+// RouterPolicy names a built-in instance-selection policy. The zero
+// value (RouteLeastKV) is the pre-refactor behavior, so zero-value and
+// historical configurations route identically.
+type RouterPolicy int
+
+const (
+	// RouteLeastKV picks the candidate with the most free KV pages
+	// (ties: lowest instance index) — the KV-pressure-aware default.
+	RouteLeastKV RouterPolicy = iota
+	// RouteRoundRobin cycles through instance indices, skipping
+	// instances absent from the candidate set.
+	RouteRoundRobin
+	// RoutePowerOfTwo samples two distinct candidates from the policy's
+	// seeded stream and keeps the less loaded one — the classic
+	// load-balancing compromise between random and global scans.
+	RoutePowerOfTwo
+	// RouteShortestQueue picks the candidate with the fewest queued or
+	// running requests (ties: most free KV, then lowest index).
+	RouteShortestQueue
+)
+
+// String implements fmt.Stringer with the CLI spellings.
+func (p RouterPolicy) String() string {
+	switch p {
+	case RouteLeastKV:
+		return "least-kv"
+	case RouteRoundRobin:
+		return "round-robin"
+	case RoutePowerOfTwo:
+		return "p2c"
+	case RouteShortestQueue:
+		return "shortest-queue"
+	}
+	return fmt.Sprintf("RouterPolicy(%d)", int(p))
+}
+
+// RouterPolicies returns every built-in policy in definition order.
+func RouterPolicies() []RouterPolicy {
+	return []RouterPolicy{RouteLeastKV, RouteRoundRobin, RoutePowerOfTwo, RouteShortestQueue}
+}
+
+// ParseRouterPolicy resolves a policy by its String spelling.
+func ParseRouterPolicy(s string) (RouterPolicy, error) {
+	for _, p := range RouterPolicies() {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("servesim: unknown router policy %q (want least-kv, round-robin, p2c, or shortest-queue)", s)
+}
+
+// Validate checks the policy is a known one.
+func (p RouterPolicy) Validate() error {
+	if p < RouteLeastKV || p > RouteShortestQueue {
+		return fmt.Errorf("servesim: unknown router policy %d", int(p))
+	}
+	return nil
+}
+
+// InstanceLoad is the router-visible snapshot of one candidate
+// instance at decision time.
+type InstanceLoad struct {
+	// Instance is the engine's instance index.
+	Instance int
+	// Queue counts requests queued or running on the instance
+	// (pending + active batch for decode instances; 0 for the idle
+	// prefill instances offered as candidates).
+	Queue int
+	// FreeKV is the instance's free KV pages (0 for prefill instances,
+	// which hold no cache).
+	FreeKV int
+}
+
+// Router is a deterministic instance-selection policy. The engine
+// consults one router instance for prefill dispatch and another for the
+// prefill->decode hand-off, so per-policy state (round-robin cursors,
+// the power-of-two RNG stream) never couples the two decision points.
+//
+// Pick returns an index into loads (never an Instance id); loads is
+// non-empty and ordered by ascending Instance. Implementations must be
+// pure functions of (own state, loads) — any randomness has to come
+// from a stream seeded at construction — so a (Config, Workload, Seed)
+// triple keeps producing byte-identical reports.
+type Router interface {
+	Pick(loads []InstanceLoad) int
+}
+
+// NewRouter builds a fresh router for the policy. seed feeds the
+// policies that randomize (power-of-two choices); deterministic
+// policies ignore it.
+func NewRouter(policy RouterPolicy, seed int64) Router {
+	switch policy {
+	case RouteRoundRobin:
+		return &roundRobinRouter{last: -1}
+	case RoutePowerOfTwo:
+		return &p2cRouter{rng: parallel.NewRand(seed)}
+	case RouteShortestQueue:
+		return shortestQueueRouter{}
+	default:
+		return leastKVRouter{}
+	}
+}
+
+// leastKVRouter picks the most free KV pages, first maximum on ties —
+// exactly the scan the engine ran before routing became pluggable, so
+// the serve* goldens are reproduced byte for byte.
+type leastKVRouter struct{}
+
+func (leastKVRouter) Pick(loads []InstanceLoad) int {
+	best, bestFree := 0, -1
+	for i, l := range loads {
+		if l.FreeKV > bestFree {
+			best, bestFree = i, l.FreeKV
+		}
+	}
+	return best
+}
+
+// roundRobinRouter cycles over instance indices: the next pick is the
+// smallest candidate Instance strictly greater than the last pick,
+// wrapping to the smallest candidate overall. Cycling over Instance ids
+// (not candidate positions) keeps the rotation meaningful when the
+// candidate set shrinks, e.g. when only some prefill units are idle.
+type roundRobinRouter struct {
+	last int
+}
+
+func (r *roundRobinRouter) Pick(loads []InstanceLoad) int {
+	pick := -1
+	for i, l := range loads {
+		if l.Instance > r.last {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		pick = 0 // wrapped: loads is ascending, so [0] is the smallest
+	}
+	r.last = loads[pick].Instance
+	return pick
+}
+
+// p2cRouter implements power-of-two choices: sample two distinct
+// candidates, keep the less loaded. All randomness comes from the
+// router's own seeded stream so the engine's RNG (MTP acceptance) is
+// untouched by routing decisions.
+type p2cRouter struct {
+	rng *rand.Rand
+}
+
+func (r *p2cRouter) Pick(loads []InstanceLoad) int {
+	if len(loads) == 1 {
+		return 0
+	}
+	i := r.rng.Intn(len(loads))
+	j := r.rng.Intn(len(loads) - 1)
+	if j >= i {
+		j++
+	}
+	if lessLoaded(loads[j], loads[i]) {
+		return j
+	}
+	return i
+}
+
+// shortestQueueRouter picks the fewest queued/running requests, with
+// free KV then instance index breaking ties.
+type shortestQueueRouter struct{}
+
+func (shortestQueueRouter) Pick(loads []InstanceLoad) int {
+	best := 0
+	for i := 1; i < len(loads); i++ {
+		if lessLoaded(loads[i], loads[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// lessLoaded orders candidates by queue length, then free KV pages
+// (more is better), then instance index — strict, so every comparison
+// is deterministic.
+func lessLoaded(a, b InstanceLoad) bool {
+	if a.Queue != b.Queue {
+		return a.Queue < b.Queue
+	}
+	if a.FreeKV != b.FreeKV {
+		return a.FreeKV > b.FreeKV
+	}
+	return a.Instance < b.Instance
+}

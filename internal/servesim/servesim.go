@@ -67,6 +67,13 @@ type Config struct {
 	// MTP.Modules extra accepted tokens per step. Nil disables.
 	MTP *mtp.Config
 
+	// Router selects the instance-selection policy applied to both
+	// prefill dispatch and the prefill->decode hand-off. The zero value
+	// (RouteLeastKV) reproduces the historical routing. Colocated
+	// instances pull work from the shared queue themselves, so the
+	// policy has no effect under Colocated.
+	Router RouterPolicy
+
 	SLO  SLO
 	Seed int64
 }
@@ -122,6 +129,9 @@ func (c Config) Validate(w Workload) error {
 		if err := c.MTP.Validate(); err != nil {
 			return err
 		}
+	}
+	if err := c.Router.Validate(); err != nil {
+		return err
 	}
 	// A single worst-case request must fit in one instance's KV pool,
 	// or preemption could livelock with no victim to evict.
@@ -220,6 +230,13 @@ type engine struct {
 	prefills []*prefillUnit // empty when colocated
 	decodes  []*decodeUnit
 
+	// One router instance per decision point, so per-policy state
+	// (round-robin cursors, the p2c stream) never couples prefill
+	// dispatch to the decode hand-off.
+	prefillRouter Router
+	decodeRouter  Router
+	loads         []InstanceLoad // candidate scratch, reused per decision
+
 	mtpFactor float64
 
 	// metrics accumulation
@@ -245,10 +262,15 @@ func Run(cfg Config, w Workload) (*Report, error) {
 	}
 	reqs := w.Generate(parallel.DeriveSeed(cfg.Seed, 0))
 
+	// Seed-stream layout: 0 workload, 1 engine (MTP acceptance), 2/3
+	// the routing streams. Routing draws never touch the engine stream,
+	// so switching policies cannot perturb speculative decoding.
 	e := &engine{
-		cfg:       cfg,
-		rng:       parallel.NewRand(parallel.DeriveSeed(cfg.Seed, 1)),
-		mtpFactor: 1,
+		cfg:           cfg,
+		rng:           parallel.NewRand(parallel.DeriveSeed(cfg.Seed, 1)),
+		prefillRouter: NewRouter(cfg.Router, parallel.DeriveSeed(cfg.Seed, 2)),
+		decodeRouter:  NewRouter(cfg.Router, parallel.DeriveSeed(cfg.Seed, 3)),
+		mtpFactor:     1,
 	}
 	if cfg.MTP != nil {
 		e.mtpFactor = cfg.MTP.StepCost()
@@ -315,8 +337,10 @@ func (e *engine) schedule(at units.Seconds, kind eventKind, inst int, req *reqSt
 
 // dispatch hands queued prefill work to idle capacity. It runs after
 // every event so newly queued (or preempted) requests and newly idle
-// instances always meet; instance scan order is fixed, keeping the
-// assignment deterministic.
+// instances always meet. Disaggregated prefill assignment goes through
+// the prefill router over the idle candidate set; colocated instances
+// pull from the shared queue themselves (startStep), so only the fixed
+// scan order applies there. Every path is deterministic.
 func (e *engine) dispatch() {
 	if e.cfg.Colocated {
 		for i, d := range e.decodes {
@@ -329,17 +353,22 @@ func (e *engine) dispatch() {
 		}
 		return
 	}
+	idle := e.loads[:0]
 	for i, p := range e.prefills {
-		if len(e.prefillQ) == 0 {
-			return
-		}
 		if !p.busy {
-			req := e.prefillQ[0]
-			e.prefillQ = e.prefillQ[1:]
-			p.busy = true
-			e.schedule(e.now+e.cfg.Latency.PrefillTime(req.ctxForPrefill()), evPrefillDone, i, req)
+			idle = append(idle, InstanceLoad{Instance: i})
 		}
 	}
+	for len(e.prefillQ) > 0 && len(idle) > 0 {
+		k := e.prefillRouter.Pick(idle)
+		inst := idle[k].Instance
+		idle = append(idle[:k], idle[k+1:]...)
+		req := e.prefillQ[0]
+		e.prefillQ = e.prefillQ[1:]
+		e.prefills[inst].busy = true
+		e.schedule(e.now+e.cfg.Latency.PrefillTime(req.ctxForPrefill()), evPrefillDone, inst, req)
+	}
+	e.loads = idle[:0]
 }
 
 // ctxForPrefill is the context a (re-)prefill must process: the prompt
@@ -363,14 +392,18 @@ func (e *engine) prefillDone(ev *event) {
 		e.complete(req)
 		return
 	}
-	// Route to the decode instance with the most free KV pages (ties:
-	// lowest index), after the KV migration delay.
-	best, bestFree := 0, -1
+	// Route to a decode instance via the configured policy (least-KV
+	// by default), after the KV migration delay.
+	loads := e.loads[:0]
 	for i, d := range e.decodes {
-		if free := d.kv.free(); free > bestFree {
-			best, bestFree = i, free
-		}
+		loads = append(loads, InstanceLoad{
+			Instance: i,
+			Queue:    len(d.pending) + len(d.active),
+			FreeKV:   d.kv.free(),
+		})
 	}
+	best := loads[e.decodeRouter.Pick(loads)].Instance
+	e.loads = loads[:0]
 	var transfer units.Seconds
 	if e.cfg.TransferBW > 0 {
 		transfer = e.cfg.Latency.KVBytesForContext(req.ctx) / e.cfg.TransferBW
@@ -418,19 +451,25 @@ func (e *engine) startStep(inst int) {
 	}
 
 	// Admit landed requests in FIFO order while batch slots and KV
-	// pages allow; the head of the queue blocks (no reordering).
-	for len(d.active) < e.cfg.MaxBatch && len(d.pending) > 0 {
-		req := d.pending[0]
-		pages := e.cfg.KV.PagesFor(req.ctx)
-		if !d.kv.tryAlloc(pages) {
-			break
+	// pages allow; the head of the queue blocks (no reordering). Only
+	// disaggregated instances have a landing queue — colocated requests
+	// join the batch directly from their stall-the-world prefill
+	// (colocatedPrefillDone), so d.pending is never populated under
+	// Colocated.
+	if !e.cfg.Colocated {
+		for len(d.active) < e.cfg.MaxBatch && len(d.pending) > 0 {
+			req := d.pending[0]
+			pages := e.cfg.KV.PagesFor(req.ctx)
+			if !d.kv.tryAlloc(pages) {
+				break
+			}
+			req.pages = pages
+			d.admitCounter++
+			req.admitSeq = d.admitCounter
+			d.pending = d.pending[1:]
+			d.active = append(d.active, req)
+			e.notePeakOcc()
 		}
-		req.pages = pages
-		d.admitCounter++
-		req.admitSeq = d.admitCounter
-		d.pending = d.pending[1:]
-		d.active = append(d.active, req)
-		e.notePeakOcc()
 	}
 	if len(d.active) == 0 {
 		d.stepping = false
@@ -588,8 +627,26 @@ func (e *engine) notePeakOcc() {
 // sampleUpTo records timeline points for every sampling instant that
 // has passed; state between events is constant, so carrying the
 // current snapshot forward is exact.
+//
+// The horizon is only an estimate from the offered traffic, so an
+// overloaded run can outlive it many times over. When the buffer fills,
+// resolution is halved in place — keep every second point, double the
+// stride — rather than truncating: a truncated timeline stops mid-run
+// and biases MeanKVOccupancy toward the warm-up window, while
+// decimation keeps the samples spanning the whole makespan at a coarser
+// (still uniform) grid.
 func (e *engine) sampleUpTo(t units.Seconds) {
-	for e.nextSample <= t && len(e.samples) < 4*timelineSamples {
+	for e.nextSample <= t {
+		if len(e.samples) >= 4*timelineSamples {
+			keep := len(e.samples) / 2
+			for i := 0; i < keep; i++ {
+				e.samples[i] = e.samples[2*i+1]
+			}
+			e.samples = e.samples[:keep]
+			e.sampleStep *= 2
+			e.nextSample = e.samples[keep-1].Time + e.sampleStep
+			continue
+		}
 		var batch int
 		var used, total int
 		for _, d := range e.decodes {

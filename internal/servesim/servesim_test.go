@@ -143,6 +143,23 @@ func TestPrefillTime(t *testing.T) {
 	}
 }
 
+// A prefill can never finish faster than the resident weights can be
+// streamed from HBM — the same memory-roofline leg DecodeStepTime pays.
+// For a one-token prompt both the compute and comm legs are negligible,
+// so the weight-streaming floor is the exact answer.
+func TestPrefillTimeWeightStreamingFloor(t *testing.T) {
+	l := V3LatencyModel()
+	floor := l.WeightBytes / (l.Accel.MemBandwidth * l.Efficiency)
+	if got := l.PrefillTime(1); math.Abs(got-floor)/floor > 1e-12 {
+		t.Errorf("prefill(1) = %v, want weight-streaming floor %v", got, floor)
+	}
+	for _, tokens := range []int{1, 8, 64, 512, 4096} {
+		if got := l.PrefillTime(tokens); got < floor {
+			t.Errorf("prefill(%d) = %v beats the weight-streaming floor %v", tokens, got, floor)
+		}
+	}
+}
+
 func TestKVConfigPaging(t *testing.T) {
 	k := KVConfig{CapacityBytes: 1 << 30, PageTokens: 64, BytesPerElem: 1}
 	if got := k.PagesFor(1); got != 1 {
@@ -287,6 +304,46 @@ func TestMTPSpeculativeDecoding(t *testing.T) {
 	}
 	if on.TPOT.P50 >= off.TPOT.P50 {
 		t.Errorf("MTP did not improve median TPOT: %.4f vs %.4f", on.TPOT.P50, off.TPOT.P50)
+	}
+}
+
+// An overloaded run outlives the traffic-estimated horizon many times
+// over. The sampler must decimate (halve resolution, double the
+// stride) rather than stop at the old 4x cap, which froze the timeline
+// mid-run and biased MeanKVOccupancy toward the warm-up window.
+func TestTimelineCoversOverloadedMakespan(t *testing.T) {
+	cfg := V3ServeConfig()
+	cfg.PrefillInstances, cfg.DecodeInstances = 1, 1
+	w := Workload{
+		Arrival:    ArrivalPoisson,
+		RatePerSec: 100,
+		Requests:   200,
+		Prompt:     Fixed(512),
+		Output:     Fixed(256),
+	}
+	rep := mustRun(t, cfg, w)
+	// The scenario must actually exceed the old sampling cap
+	// (4 x the horizon estimated from the arrival window).
+	lastArrival := float64(rep.Requests) / rep.OfferedRate
+	if rep.Makespan <= 4*(lastArrival+1) {
+		t.Fatalf("run not overloaded enough to exercise decimation: makespan %.1fs, horizon %.1fs",
+			rep.Makespan, lastArrival+1)
+	}
+	// At least one decimation leaves the buffer between half-full and
+	// the cap.
+	if n := len(rep.Timeline); n < 2*timelineSamples || n > 4*timelineSamples {
+		t.Errorf("timeline has %d points, want within [%d, %d]", n, 2*timelineSamples, 4*timelineSamples)
+	}
+	last := rep.Timeline[len(rep.Timeline)-1].Time
+	if last < 0.8*rep.Makespan {
+		t.Errorf("timeline stops at %.1fs of a %.1fs makespan (sampler froze)", last, rep.Makespan)
+	}
+	prev := -1.0
+	for _, p := range rep.Timeline {
+		if p.Time <= prev {
+			t.Fatalf("decimated timeline not strictly increasing at %v", p.Time)
+		}
+		prev = p.Time
 	}
 }
 

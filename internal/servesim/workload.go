@@ -123,7 +123,38 @@ const (
 	ArrivalUniform
 	// ArrivalTrace replays Workload.Trace verbatim.
 	ArrivalTrace
+	// ArrivalBursty is a Markov-modulated on/off Poisson process: the
+	// source alternates between exponentially-dwelling ON periods
+	// (mean BurstOnMean) that emit at an elevated rate and silent OFF
+	// periods (mean BurstOffMean). The ON rate is scaled so the
+	// time-averaged rate is still RatePerSec — bursty and Poisson
+	// workloads at the same rate offer the same total traffic.
+	ArrivalBursty
+	// ArrivalDiurnal modulates the instantaneous rate sinusoidally
+	// around RatePerSec, starting at the trough and ramping up — the
+	// daily traffic ramp, generated as a thinned non-homogeneous
+	// Poisson process. DiurnalPeriod sets the cycle length and
+	// DiurnalAmplitude (0..1) the swing; the mean over a full period
+	// is RatePerSec.
+	ArrivalDiurnal
 )
+
+// String implements fmt.Stringer.
+func (k ArrivalKind) String() string {
+	switch k {
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalUniform:
+		return "uniform"
+	case ArrivalTrace:
+		return "trace"
+	case ArrivalBursty:
+		return "bursty"
+	case ArrivalDiurnal:
+		return "diurnal"
+	}
+	return fmt.Sprintf("ArrivalKind(%d)", int(k))
+}
 
 // Workload describes the request traffic offered to the cluster.
 type Workload struct {
@@ -133,6 +164,17 @@ type Workload struct {
 
 	Prompt LengthDist
 	Output LengthDist
+
+	// BurstOnMean and BurstOffMean are the mean dwell times of the
+	// ArrivalBursty on/off modulating chain (both must be positive for
+	// that kind; ignored otherwise).
+	BurstOnMean  units.Seconds
+	BurstOffMean units.Seconds
+
+	// DiurnalPeriod and DiurnalAmplitude shape ArrivalDiurnal: the
+	// cycle length (positive) and the relative swing in [0, 1].
+	DiurnalPeriod    units.Seconds
+	DiurnalAmplitude float64
 
 	// Trace is replayed verbatim under ArrivalTrace (sorted by arrival;
 	// the other fields above are ignored).
@@ -157,6 +199,14 @@ func (w Workload) Validate() error {
 	}
 	if w.Requests <= 0 {
 		return fmt.Errorf("servesim: request count must be positive, got %d", w.Requests)
+	}
+	if w.Arrival == ArrivalBursty && (w.BurstOnMean <= 0 || w.BurstOffMean <= 0) {
+		return fmt.Errorf("servesim: bursty arrivals need positive on/off dwell means, got %v/%v",
+			w.BurstOnMean, w.BurstOffMean)
+	}
+	if w.Arrival == ArrivalDiurnal && (w.DiurnalPeriod <= 0 || w.DiurnalAmplitude < 0 || w.DiurnalAmplitude > 1) {
+		return fmt.Errorf("servesim: diurnal arrivals need positive period and amplitude in [0,1], got %v/%v",
+			w.DiurnalPeriod, w.DiurnalAmplitude)
 	}
 	if err := w.Prompt.Validate(); err != nil {
 		return err
@@ -193,14 +243,11 @@ func (w Workload) Generate(seed int64) []Request {
 		return out
 	}
 	rng := parallel.NewRand(seed)
+	step := w.arrivalStepper(rng)
 	out := make([]Request, w.Requests)
 	var t units.Seconds
 	for i := range out {
-		if w.Arrival == ArrivalPoisson {
-			t += rng.ExpFloat64() / w.RatePerSec
-		} else {
-			t += 1 / w.RatePerSec
-		}
+		t = step(t)
 		out[i] = Request{
 			ID:           i,
 			Arrival:      t,
@@ -209,6 +256,51 @@ func (w Workload) Generate(seed int64) []Request {
 		}
 	}
 	return out
+}
+
+// arrivalStepper returns the per-request arrival-time advance for the
+// workload's arrival process. The closure owns the modulating state
+// (burst phase budget, diurnal thinning) so Generate stays one flat
+// loop, and every draw comes from the shared stream in a fixed order —
+// one interarrival before each request's length samples.
+func (w Workload) arrivalStepper(rng *rand.Rand) func(units.Seconds) units.Seconds {
+	switch w.Arrival {
+	case ArrivalUniform:
+		return func(t units.Seconds) units.Seconds { return t + 1/w.RatePerSec }
+	case ArrivalBursty:
+		// On/off MMPP: requests are emitted only during ON dwell at a
+		// rate elevated by the duty-cycle inverse, so the long-run mean
+		// is RatePerSec. Gaps are drawn in ON-time; crossing an ON
+		// boundary inserts the silent OFF dwell into wall-clock time.
+		onRate := w.RatePerSec * (w.BurstOnMean + w.BurstOffMean) / w.BurstOnMean
+		remOn := rng.ExpFloat64() * w.BurstOnMean
+		return func(t units.Seconds) units.Seconds {
+			gap := rng.ExpFloat64() / onRate
+			for gap > remOn {
+				gap -= remOn
+				t += remOn + rng.ExpFloat64()*w.BurstOffMean
+				remOn = rng.ExpFloat64() * w.BurstOnMean
+			}
+			remOn -= gap
+			return t + gap
+		}
+	case ArrivalDiurnal:
+		// Thinned non-homogeneous Poisson: candidates at the peak rate,
+		// accepted with probability lambda(t)/peak. The phase starts at
+		// the trough (-pi/2) so the run opens on the upward ramp.
+		peak := w.RatePerSec * (1 + w.DiurnalAmplitude)
+		return func(t units.Seconds) units.Seconds {
+			for {
+				t += rng.ExpFloat64() / peak
+				lam := w.RatePerSec * (1 + w.DiurnalAmplitude*math.Sin(2*math.Pi*t/w.DiurnalPeriod-math.Pi/2))
+				if rng.Float64()*peak <= lam {
+					return t
+				}
+			}
+		}
+	default: // ArrivalPoisson
+		return func(t units.Seconds) units.Seconds { return t + rng.ExpFloat64()/w.RatePerSec }
+	}
 }
 
 // ParseTrace reads a replayable trace: one request per line as

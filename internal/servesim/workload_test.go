@@ -80,6 +80,75 @@ func TestLengthDistBounds(t *testing.T) {
 	}
 }
 
+// Bursty arrivals preserve the offered mean rate (the ON rate is
+// scaled by the duty-cycle inverse) while being far more variable than
+// Poisson: the squared coefficient of variation of the interarrival
+// gaps must exceed the memoryless value of 1.
+func TestBurstyArrivals(t *testing.T) {
+	w := Workload{
+		Arrival: ArrivalBursty, RatePerSec: 10, Requests: 20000,
+		BurstOnMean: 1, BurstOffMean: 4,
+		Prompt: Fixed(8), Output: Fixed(8),
+	}
+	reqs := w.Generate(7)
+	mean := reqs[len(reqs)-1].Arrival / float64(len(reqs))
+	if math.Abs(mean-0.1)/0.1 > 0.1 {
+		t.Errorf("bursty mean interarrival %.4fs, want ~0.1s", mean)
+	}
+	var sum, ss float64
+	prev := 0.0
+	for _, r := range reqs {
+		if r.Arrival < prev {
+			t.Fatal("bursty arrivals not monotone")
+		}
+		gap := r.Arrival - prev
+		sum += gap
+		ss += gap * gap
+		prev = r.Arrival
+	}
+	n := float64(len(reqs))
+	m := sum / n
+	cv2 := (ss/n - m*m) / (m * m)
+	if cv2 < 1.3 {
+		t.Errorf("bursty interarrival CV^2 = %.2f, want clearly above the Poisson value 1", cv2)
+	}
+	// Determinism.
+	again := w.Generate(7)
+	for i := range reqs {
+		if reqs[i] != again[i] {
+			t.Fatal("bursty generation not deterministic")
+		}
+	}
+}
+
+// Diurnal arrivals ramp up from the trough: the second quarter of the
+// first period must carry clearly more traffic than the first quarter,
+// and the long-run mean rate is preserved.
+func TestDiurnalArrivals(t *testing.T) {
+	w := Workload{
+		Arrival: ArrivalDiurnal, RatePerSec: 10, Requests: 20000,
+		DiurnalPeriod: 100, DiurnalAmplitude: 0.8,
+		Prompt: Fixed(8), Output: Fixed(8),
+	}
+	reqs := w.Generate(7)
+	mean := reqs[len(reqs)-1].Arrival / float64(len(reqs))
+	if math.Abs(mean-0.1)/0.1 > 0.1 {
+		t.Errorf("diurnal mean interarrival %.4fs, want ~0.1s", mean)
+	}
+	var q1, q2 int
+	for _, r := range reqs {
+		switch {
+		case r.Arrival < 25:
+			q1++
+		case r.Arrival < 50:
+			q2++
+		}
+	}
+	if float64(q2) < 1.5*float64(q1) {
+		t.Errorf("no upward ramp: %d arrivals in [0,25) vs %d in [25,50)", q1, q2)
+	}
+}
+
 func TestTraceSortedAndRenumbered(t *testing.T) {
 	w := Workload{Arrival: ArrivalTrace, Trace: []Request{
 		{ID: 9, Arrival: 2, PromptTokens: 10, OutputTokens: 1},
@@ -118,6 +187,10 @@ func TestWorkloadValidate(t *testing.T) {
 		{Arrival: ArrivalPoisson, RatePerSec: 1, Requests: 1, Prompt: Fixed(0), Output: Fixed(1)},
 		{Arrival: ArrivalTrace},
 		{Arrival: ArrivalTrace, Trace: []Request{{Arrival: -1, PromptTokens: 1, OutputTokens: 1}}},
+		{Arrival: ArrivalBursty, RatePerSec: 1, Requests: 1, Prompt: Fixed(1), Output: Fixed(1)},
+		{Arrival: ArrivalBursty, RatePerSec: 1, Requests: 1, BurstOnMean: 1, Prompt: Fixed(1), Output: Fixed(1)},
+		{Arrival: ArrivalDiurnal, RatePerSec: 1, Requests: 1, Prompt: Fixed(1), Output: Fixed(1)},
+		{Arrival: ArrivalDiurnal, RatePerSec: 1, Requests: 1, DiurnalPeriod: 10, DiurnalAmplitude: 1.5, Prompt: Fixed(1), Output: Fixed(1)},
 	}
 	for i, w := range cases {
 		if err := w.Validate(); err == nil {

@@ -209,8 +209,9 @@ func percentileSorted(sorted []float64, p float64) float64 {
 type Histogram struct {
 	Lo, Hi  float64
 	Counts  []int
-	Under   int // samples below Lo
-	Over    int // samples >= Hi
+	Under   int // finite samples below Lo
+	Over    int // finite samples >= Hi
+	Dropped int // non-finite samples (NaN, ±Inf)
 	samples int
 }
 
@@ -222,9 +223,16 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
 }
 
-// Add records one sample.
+// Add records one sample. Non-finite samples have no position on the
+// axis (a NaN in particular passes both range guards, and int(NaN) is
+// a huge negative index); they are tallied in Dropped instead of
+// Under/Over or any bin.
 func (h *Histogram) Add(x float64) {
 	h.samples++
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		h.Dropped++
+		return
+	}
 	if x < h.Lo {
 		h.Under++
 		return
@@ -236,6 +244,9 @@ func (h *Histogram) Add(x float64) {
 	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
 	if idx >= len(h.Counts) {
 		idx = len(h.Counts) - 1
+	}
+	if idx < 0 { // defensive clamp: unreachable while the x < Lo guard precedes it
+		idx = 0
 	}
 	h.Counts[idx]++
 }

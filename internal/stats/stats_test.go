@@ -141,6 +141,41 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// A NaN passes both range guards (NaN < Lo and NaN >= Hi are both
+// false) and int(NaN) is a huge negative index; before the Dropped
+// counter this panicked on Counts[idx]. Non-finite samples must land
+// in Dropped, not in a bin or the Under/Over tallies.
+func TestHistogramNonFinite(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(math.NaN())
+	h.Add(math.Inf(1))
+	h.Add(math.Inf(-1))
+	h.Add(0.5)
+	if h.Dropped != 3 {
+		t.Errorf("Dropped = %d, want 3", h.Dropped)
+	}
+	if h.Under != 0 || h.Over != 0 {
+		t.Errorf("non-finite samples leaked into Under/Over: %+v", h)
+	}
+	if h.Total() != 4 {
+		t.Errorf("Total = %d, want 4", h.Total())
+	}
+	if h.Counts[0] != 1 {
+		t.Errorf("finite sample not recorded: %+v", h.Counts)
+	}
+}
+
+// The low-side index is clamped: a sample at exactly Lo (or rounding
+// slightly below bin zero) lands in bin 0, never at a negative index.
+func TestHistogramLowEdge(t *testing.T) {
+	h := NewHistogram(-1e18, 1e18, 7)
+	h.Add(-1e18)
+	h.Add(math.Nextafter(-1e18, 0))
+	if h.Counts[0] != 2 || h.Under != 0 {
+		t.Errorf("low-edge samples not clamped into bin 0: %+v", h)
+	}
+}
+
 func TestHistogramDegenerate(t *testing.T) {
 	h := NewHistogram(5, 5, 0)
 	h.Add(5)

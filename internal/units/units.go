@@ -62,7 +62,12 @@ func FormatBytes(b Bytes) string {
 }
 
 // FormatSeconds renders a duration using the most natural unit.
+// Negative durations format as |s| with a sign prefix (a bare negative
+// would fall through every unit threshold to the ns branch).
 func FormatSeconds(s Seconds) string {
+	if s < 0 {
+		return "-" + FormatSeconds(-s)
+	}
 	switch {
 	case s >= 1:
 		return fmt.Sprintf("%.3fs", s)

@@ -50,6 +50,11 @@ func TestFormatSeconds(t *testing.T) {
 		{120.96e-6, "120.96us"},
 		{3.6e-6, "3.60us"},
 		{5e-9, "5ns"},
+		{0, "0ns"},
+		{-1.5e-3, "-1.500ms"},
+		{-19.926, "-19.926s"},
+		{-120.96e-6, "-120.96us"},
+		{-5e-9, "-5ns"},
 	}
 	for _, c := range cases {
 		if got := FormatSeconds(c.in); got != c.want {
