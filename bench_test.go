@@ -255,6 +255,60 @@ func BenchmarkGateRoute(b *testing.B) {
 	}
 }
 
+// BenchmarkServeEngine measures the steady-state cost of one serving
+// simulation on a reused engine — the unit of work every RateSweep arm
+// and CapacityPlanner probe repeats. The engine's pools (event heap,
+// request arena, per-instance queues, report scratch) are warm after
+// the first run, so allocs/op here is the true marginal footprint.
+func BenchmarkServeEngine(b *testing.B) {
+	cfg := V3ServeConfig()
+	w := ServeWorkload{
+		Arrival:    ArrivalPoisson,
+		RatePerSec: 6,
+		Requests:   200,
+		Prompt:     LogNormalLength(1024, 0.5),
+		Output:     LogNormalLength(512, 0.5),
+	}
+	eng := NewServeEngine()
+	if _, err := eng.Run(cfg, w); err != nil { // warm the pools
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eng.Run(cfg, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != w.Requests {
+			b.Fatalf("completed %d of %d requests", rep.Completed, w.Requests)
+		}
+	}
+}
+
+// BenchmarkCapacityPlanner measures a full doubling+bisection capacity
+// search — many engine runs back to back on the planner's pooled
+// engine.
+func BenchmarkCapacityPlanner(b *testing.B) {
+	cfg := V3ServeConfig()
+	w := ServeWorkload{
+		Arrival:    ArrivalPoisson,
+		RatePerSec: 1,
+		Requests:   150,
+		Prompt:     LogNormalLength(1024, 0.5),
+		Output:     LogNormalLength(512, 0.5),
+	}
+	p := DefaultServeCapacityPlanner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Find(cfg, w)
+		if err != nil || res.MaxRate <= 0 {
+			b.Fatalf("capacity search failed: %v (res %+v)", err, res)
+		}
+	}
+}
+
 func BenchmarkPipelineSimulate(b *testing.B) {
 	costs := PipelineCosts{F: 0.08, B: 0.14, W: 0.034}
 	for i := 0; i < b.N; i++ {

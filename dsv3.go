@@ -289,6 +289,11 @@ type (
 	ServeCapacityPlanner = servesim.CapacityPlanner
 	ServeCapacityResult  = servesim.CapacityResult
 	ServeCapacityProbe   = servesim.CapacityProbe
+	// ServeEngine is the reusable simulation engine: one engine recycles
+	// its event heap, request arena and metric buffers across Run calls
+	// (byte-identical to fresh construction). Not safe for concurrent
+	// use; sweeps thread one per worker.
+	ServeEngine = servesim.Engine
 )
 
 const (
@@ -306,6 +311,7 @@ const (
 
 var (
 	RunServe                    = servesim.Run
+	NewServeEngine              = servesim.NewEngine
 	ServeRateSweep              = servesim.RateSweep
 	V3ServeConfig               = servesim.V3ServeConfig
 	V3ServeLatency              = servesim.V3LatencyModel

@@ -253,19 +253,17 @@ func (c *Cluster) NVLinkPath(node, i, j int) []int {
 	return []int{c.gpuToNVSw[node][i], c.nvswToGPU[node][j]}
 }
 
-// netSegment builds NIC(a,plane) -> fabric -> NIC(b,plane) -> GPU(b,dstGPU),
+// appendNetSegment appends NIC(a,plane) -> fabric -> NIC(b,plane) to p,
 // choosing spine slot spine when the hosts sit under different leaves.
-func (c *Cluster) netSegment(a, b, plane, spine int) []int {
+func (c *Cluster) appendNetSegment(p []int, a, b, plane, spine int) []int {
 	leafA, leafB := c.LeafOf(a), c.LeafOf(b)
-	path := []int{c.nicToLeaf[a][plane]}
+	p = append(p, c.nicToLeaf[a][plane])
 	if leafA != leafB {
 		up := c.leafUp[plane][leafA][spine]
 		spineNode := c.G.Links[up].To
-		down := c.spineDown[[2]int{spineNode, c.leaf[plane][leafB]}]
-		path = append(path, up, down)
+		p = append(p, up, c.spineDown[[2]int{spineNode, c.leaf[plane][leafB]}])
 	}
-	path = append(path, c.leafToNIC[b][plane])
-	return path
+	return append(p, c.leafToNIC[b][plane])
 }
 
 // cachedPaths returns the memoized path set for key, building and
@@ -299,7 +297,7 @@ func (c *Cluster) PXNPaths(a, i, b, j int) [][]int {
 			prefix = c.NVLinkPath(a, i, j)
 		}
 		plane := j
-		return c.fanOut(prefix, a, b, plane, func(seg []int) []int {
+		return c.fanOut(prefix, a, b, plane, 1, func(seg []int) []int {
 			seg = append(seg, c.nicToGPU[b][plane])
 			return seg
 		})
@@ -316,7 +314,7 @@ func (c *Cluster) ForwardPaths(a, i, b, j int) [][]int {
 			return [][]int{c.NVLinkPath(a, i, j)}
 		}
 		plane := i
-		return c.fanOut(nil, a, b, plane, func(seg []int) []int {
+		return c.fanOut(nil, a, b, plane, 3, func(seg []int) []int {
 			seg = append(seg, c.nicToGPU[b][plane])
 			if i != j {
 				seg = append(seg, c.NVLinkPath(b, i, j)...)
@@ -339,7 +337,7 @@ func (c *Cluster) PXNPathsVia(a, i, b, j, plane int) [][]int {
 	if i != plane {
 		prefix = c.NVLinkPath(a, i, plane)
 	}
-	return c.fanOut(prefix, a, b, plane, func(seg []int) []int {
+	return c.fanOut(prefix, a, b, plane, 3, func(seg []int) []int {
 		seg = append(seg, c.nicToGPU[b][plane])
 		if plane != j {
 			seg = append(seg, c.NVLinkPath(b, plane, j)...)
@@ -348,20 +346,25 @@ func (c *Cluster) PXNPathsVia(a, i, b, j, plane int) [][]int {
 	})
 }
 
-// fanOut builds prefix + GPU(a)->NIC + netSegment(spine) + suffix for
-// every spine slot (or the single same-leaf path).
-func (c *Cluster) fanOut(prefix []int, a, b, plane int, suffix func([]int) []int) [][]int {
+// fanOut builds prefix + GPU(a)->NIC + net segment(spine) + suffix for
+// every spine slot (or the single same-leaf path). suffixCap is an
+// upper bound on the link IDs the suffix callback appends, so each path
+// is built in exactly one allocation — path construction populates the
+// per-cluster caches, and the first big sweep on a fresh cluster builds
+// hundreds of thousands of these.
+func (c *Cluster) fanOut(prefix []int, a, b, plane, suffixCap int, suffix func([]int) []int) [][]int {
 	sameLeaf := c.LeafOf(a) == c.LeafOf(b)
-	slots := 1
+	slots, segLen := 1, 2
 	if !sameLeaf {
 		slots = c.SpineSlots(plane)
+		segLen = 4
 	}
 	paths := make([][]int, 0, slots)
 	for s := 0; s < slots; s++ {
-		var p []int
+		p := make([]int, 0, len(prefix)+1+segLen+suffixCap)
 		p = append(p, prefix...)
 		p = append(p, c.gpuToNIC[a][plane])
-		p = append(p, c.netSegment(a, b, plane, s)...)
+		p = c.appendNetSegment(p, a, b, plane, s)
 		paths = append(paths, suffix(p))
 	}
 	return paths

@@ -57,17 +57,48 @@ type AllToAllResult struct {
 	MaxLinkBytes units.Bytes
 }
 
+// Scratch is a reusable collective-execution context: it owns the flow
+// table handed to the simulator and a netsim.Sim with the water-filling
+// scratch, so sweeping many collectives (the Figure 5 grid, the plane-
+// failure rounds) reuses one set of buffers instead of rebuilding the
+// flow graph per round. A Scratch is not safe for concurrent use;
+// sweeps thread one per worker via parallel.MapScratch. Results are
+// byte-identical to the package-level functions.
+type Scratch struct {
+	sim       netsim.Sim
+	flows     []netsim.Flow
+	flowGroup []int
+	stage     []units.Seconds
+}
+
+// NewScratch returns an empty context whose buffers grow to the largest
+// collective it executes.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Sim exposes the embedded simulator context for callers (the plane-
+// failure experiment) that build their own flow sets but still want to
+// reuse the water-filling scratch.
+func (s *Scratch) Sim() *netsim.Sim { return &s.sim }
+
 // AllToAll runs an NCCL-style all-to-all over the first `ranks` GPUs of
 // the cluster. Each rank holds a buffer of perRankBytes, sending
 // perRankBytes/ranks to every peer (itself included — the self chunk is
 // a local copy). Cross-node transfers use sender-side PXN: NVLink to
 // the rail-aligned local GPU, then the destination GPU's plane.
 func AllToAll(c *cluster.Cluster, ranks int, perRankBytes units.Bytes, opts Options) (AllToAllResult, error) {
+	return NewScratch().AllToAll(c, ranks, perRankBytes, opts)
+}
+
+// AllToAll is the scratch-reusing form of the package-level AllToAll.
+func (s *Scratch) AllToAll(c *cluster.Cluster, ranks int, perRankBytes units.Bytes, opts Options) (AllToAllResult, error) {
 	if ranks < 2 || ranks > c.NumRanks() {
 		return AllToAllResult{}, fmt.Errorf("collective: ranks=%d out of range (cluster has %d)", ranks, c.NumRanks())
 	}
 	chunk := perRankBytes / float64(ranks)
-	var flows []netsim.Flow
+	if need := ranks * (ranks - 1); cap(s.flows) < need {
+		s.flows = make([]netsim.Flow, 0, need)
+	}
+	flows := s.flows[:0]
 	for r := 0; r < ranks; r++ {
 		srcNode, srcGPU := c.RankOf(r)
 		for q := 0; q < ranks; q++ {
@@ -86,7 +117,8 @@ func AllToAll(c *cluster.Cluster, ranks int, perRankBytes units.Bytes, opts Opti
 			})
 		}
 	}
-	res := netsim.Simulate(c.G, flows)
+	s.flows = flows[:0]
+	res := s.sim.Simulate(c.G, flows)
 	t := res.Makespan + opts.LaunchOverhead
 	return AllToAllResult{
 		Time:         t,
@@ -143,9 +175,15 @@ type RingResult struct {
 // picked for all stages, which is exactly how DP traffic "lacks
 // randomness" and congests (§5.2.2).
 func RingCollective(router *netsim.Router, groups [][]int, perRankBytes units.Bytes, policy netsim.Policy, opts Options) (RingResult, error) {
+	return NewScratch().RingCollective(router, groups, perRankBytes, policy, opts)
+}
+
+// RingCollective is the scratch-reusing form of the package-level
+// RingCollective.
+func (s *Scratch) RingCollective(router *netsim.Router, groups [][]int, perRankBytes units.Bytes, policy netsim.Policy, opts Options) (RingResult, error) {
 	g := router.Graph()
-	var flows []netsim.Flow
-	var flowGroup []int
+	flows := s.flows[:0]
+	flowGroup := s.flowGroup[:0]
 	for gi, members := range groups {
 		n := len(members)
 		if n < 2 {
@@ -178,12 +216,17 @@ func RingCollective(router *netsim.Router, groups [][]int, perRankBytes units.By
 	// One stage simulated with every group's edges active; a group's
 	// stage time is its slowest edge. All N-1 stages repeat the same
 	// contention pattern (QPs are pinned), so the total is (N-1)×stage.
-	res := netsim.Simulate(g, flows)
+	s.flows, s.flowGroup = flows[:0], flowGroup[:0]
+	res := s.sim.Simulate(g, flows)
 	out := RingResult{
 		GroupTime:  make([]units.Seconds, len(groups)),
 		GroupBusBW: make([]units.BytesPerSecond, len(groups)),
 	}
-	stage := make([]units.Seconds, len(groups))
+	if cap(s.stage) < len(groups) {
+		s.stage = make([]units.Seconds, len(groups))
+	}
+	stage := s.stage[:len(groups)]
+	clear(stage)
 	for fi, t := range res.FlowFinish {
 		gi := flowGroup[fi]
 		if t > stage[gi] {

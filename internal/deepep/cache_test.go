@@ -1,0 +1,52 @@
+package deepep
+
+import (
+	"reflect"
+	"testing"
+
+	"dsv3/internal/cluster"
+)
+
+// TestRouteCacheStableAndKeyed: repeated Dispatch/Combine calls (cache
+// hits) must reproduce the cold-start results exactly, and different
+// seeds or EP sizes must not collide in the cache.
+func TestRouteCacheStableAndKeyed(t *testing.T) {
+	cfg := V3Config()
+	cfg.DeterministicTraffic = true
+	cfg.SampleTokens = 64
+	c16, err := cluster.Cached(cluster.H800Config(2, cluster.MPFT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c32, err := cluster.Cached(cluster.H800Config(4, cluster.MPFT))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := Dispatch(c16, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Dispatch(c16, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("cache hit changed the result:\n%+v\n%+v", cold, warm)
+	}
+
+	otherSeed, err := Dispatch(c16, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(cold, otherSeed) {
+		t.Fatal("different seeds returned identical traffic — cache key too coarse")
+	}
+	otherEP, err := Dispatch(c32, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(cold, otherEP) {
+		t.Fatal("different EP sizes returned identical traffic — cache key too coarse")
+	}
+}

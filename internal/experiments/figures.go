@@ -24,31 +24,33 @@ type Figure5Point struct {
 // Figure5 sweeps all-to-all algorithm bandwidth over GPU counts and
 // message sizes on both fabrics. Every (gpus, size) cell is independent
 // and runs on the parallel worker pool against the shared memoized
-// clusters; results come back in grid order, identical to the serial
-// sweep.
+// clusters; each worker carries one collective.Scratch so the flow
+// table and water-filling buffers are built once per worker, not per
+// cell. Results come back in grid order, identical to the serial sweep.
 func Figure5(gpuCounts []int, sizes []units.Bytes) ([]Figure5Point, error) {
 	opts := collective.DefaultOptions()
-	return parallel.Map(len(gpuCounts)*len(sizes), func(idx int) (Figure5Point, error) {
-		gpus := gpuCounts[idx/len(sizes)]
-		size := sizes[idx%len(sizes)]
-		mp, err := cluster.Cached(cluster.H800Config(gpus/cluster.GPUsPerNode, cluster.MPFT))
-		if err != nil {
-			return Figure5Point{}, err
-		}
-		mr, err := cluster.Cached(cluster.H800Config(gpus/cluster.GPUsPerNode, cluster.MRFT))
-		if err != nil {
-			return Figure5Point{}, err
-		}
-		a, err := collective.AllToAll(mp, gpus, size, opts)
-		if err != nil {
-			return Figure5Point{}, err
-		}
-		b, err := collective.AllToAll(mr, gpus, size, opts)
-		if err != nil {
-			return Figure5Point{}, err
-		}
-		return Figure5Point{GPUs: gpus, Size: size, MPFTAlgBW: a.AlgBW, MRFTAlgBW: b.AlgBW}, nil
-	})
+	return parallel.MapScratch(len(gpuCounts)*len(sizes), collective.NewScratch,
+		func(idx int, sc *collective.Scratch) (Figure5Point, error) {
+			gpus := gpuCounts[idx/len(sizes)]
+			size := sizes[idx%len(sizes)]
+			mp, err := cluster.Cached(cluster.H800Config(gpus/cluster.GPUsPerNode, cluster.MPFT))
+			if err != nil {
+				return Figure5Point{}, err
+			}
+			mr, err := cluster.Cached(cluster.H800Config(gpus/cluster.GPUsPerNode, cluster.MRFT))
+			if err != nil {
+				return Figure5Point{}, err
+			}
+			a, err := sc.AllToAll(mp, gpus, size, opts)
+			if err != nil {
+				return Figure5Point{}, err
+			}
+			b, err := sc.AllToAll(mr, gpus, size, opts)
+			if err != nil {
+				return Figure5Point{}, err
+			}
+			return Figure5Point{GPUs: gpus, Size: size, MPFTAlgBW: a.AlgBW, MRFTAlgBW: b.AlgBW}, nil
+		})
 }
 
 // DefaultFigure5Sizes returns a representative subset of the paper's
@@ -98,13 +100,13 @@ func Figure6(sizes []units.Bytes) ([]Figure6Point, error) {
 		return nil, err
 	}
 	opts := collective.DefaultOptions()
-	return parallel.Map(len(sizes), func(si int) (Figure6Point, error) {
+	return parallel.MapScratch(len(sizes), collective.NewScratch, func(si int, sc *collective.Scratch) (Figure6Point, error) {
 		size := sizes[si]
-		a, err := collective.AllToAll(mp, 16, size, opts)
+		a, err := sc.AllToAll(mp, 16, size, opts)
 		if err != nil {
 			return Figure6Point{}, err
 		}
-		b, err := collective.AllToAll(mr, 16, size, opts)
+		b, err := sc.AllToAll(mr, 16, size, opts)
 		if err != nil {
 			return Figure6Point{}, err
 		}
@@ -190,8 +192,10 @@ func Figure8() ([]Figure8Point, error) {
 	policies := []netsim.Policy{netsim.PolicyECMP, netsim.PolicyAdaptive, netsim.PolicyStatic}
 	// One worker task per (TP, policy) bar. Each task builds its own
 	// RoCE fabric and router: the netsim Router caches shortest paths
-	// mutably, so sharing one across tasks would race.
-	points, err := parallel.Map(len(tps)*len(policies), func(idx int) (Figure8Point, error) {
+	// mutably, so sharing one across tasks would race. The collective
+	// scratch, by contrast, is fully reset per call, so it rides along
+	// per worker.
+	points, err := parallel.MapScratch(len(tps)*len(policies), collective.NewScratch, func(idx int, sc *collective.Scratch) (Figure8Point, error) {
 		tp := tps[idx/len(policies)]
 		pol := policies[idx%len(policies)]
 		ft := topology.FatTree2{
@@ -205,7 +209,7 @@ func Figure8() ([]Figure8Point, error) {
 		}
 		router := netsim.NewRouter(ft.Build())
 		groups := spreadGroups(router.Graph().Endpoints(), tp)
-		res, err := collective.RingCollective(router, groups, units.Bytes(256*units.MiB), pol, opts)
+		res, err := sc.RingCollective(router, groups, units.Bytes(256*units.MiB), pol, opts)
 		if err != nil {
 			return Figure8Point{}, err
 		}
@@ -259,8 +263,8 @@ func PlaneFailure(failedCounts []int) ([]PlaneFailureRow, error) {
 	}
 	opts := collective.DefaultOptions()
 	size := units.Bytes(1 * units.GiB)
-	times, err := parallel.Map(len(failedCounts), func(i int) (units.Seconds, error) {
-		return allToAllWithFailedPlanes(c, 32, size, failedCounts[i], opts)
+	times, err := parallel.MapScratch(len(failedCounts), collective.NewScratch, func(i int, sc *collective.Scratch) (units.Seconds, error) {
+		return allToAllWithFailedPlanes(sc, c, 32, size, failedCounts[i], opts)
 	})
 	if err != nil {
 		return nil, err
@@ -284,7 +288,9 @@ func PlaneFailure(failedCounts []int) ([]PlaneFailureRow, error) {
 
 // allToAllWithFailedPlanes mirrors collective.AllToAll but reroutes
 // traffic whose home plane failed onto surviving planes round-robin.
-func allToAllWithFailedPlanes(c *cluster.Cluster, ranks int, perRank units.Bytes, failed int, opts collective.Options) (units.Seconds, error) {
+// It builds its own (detoured) flow set but borrows the worker's
+// simulator context for the water-filling scratch.
+func allToAllWithFailedPlanes(sc *collective.Scratch, c *cluster.Cluster, ranks int, perRank units.Bytes, failed int, opts collective.Options) (units.Seconds, error) {
 	alive := make([]int, 0, c.Planes()-failed)
 	for p := failed; p < c.Planes(); p++ {
 		alive = append(alive, p)
@@ -315,7 +321,7 @@ func allToAllWithFailedPlanes(c *cluster.Cluster, ranks int, perRank units.Bytes
 			})
 		}
 	}
-	res := netsim.Simulate(c.G, flows)
+	res := sc.Sim().Simulate(c.G, flows)
 	return res.Makespan + opts.LaunchOverhead, nil
 }
 

@@ -17,10 +17,55 @@ import (
 	"dsv3/internal/quant"
 )
 
+// Workspace owns the intermediate buffers of the quantizing GEMM paths
+// (quantized operand codes, scale vectors, the transposed-B layout, the
+// accumulator rows), so a training loop can run thousands of matmuls
+// without per-call matrix allocation. The zero value is ready to use;
+// buffers grow to the largest shapes seen and are reused. A Workspace
+// is not safe for concurrent use. Results are bit-identical to the
+// workspace-free entry points — every buffer is fully overwritten (or
+// explicitly cleared) before it is read.
+type Workspace struct {
+	qa, qb, aCodes, bCodes, bT quant.Matrix
+	aScales, bScales           []float64
+	acc                        []float32
+	scratch                    []float64
+}
+
+// shape resizes m to rows×cols, reusing its backing array when large
+// enough. The contents are unspecified; callers overwrite them fully.
+func shape(m *quant.Matrix, rows, cols int) *quant.Matrix {
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	} else {
+		m.Data = m.Data[:n]
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// growFloats returns s resized to n entries (contents unspecified).
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // Ref computes C = A·B in float64. A is m×k, B is k×n.
 func Ref(a, b *quant.Matrix) *quant.Matrix {
-	checkShapes(a, b)
 	c := quant.NewMatrix(a.Rows, b.Cols)
+	RefInto(c, a, b)
+	return c
+}
+
+// RefInto computes C = A·B in float64 into a caller-owned matrix, which
+// must be pre-shaped to a.Rows × b.Cols (contents are overwritten).
+func RefInto(c, a, b *quant.Matrix) {
+	checkShapes(a, b)
+	checkOut(c, a, b)
+	clear(c.Data)
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		crow := c.Row(i)
@@ -29,26 +74,37 @@ func Ref(a, b *quant.Matrix) *quant.Matrix {
 			if av == 0 {
 				continue
 			}
-			brow := b.Row(kk)
+			brow := b.Row(kk)[:len(crow)] // bounds-check hint: same length
 			for j := range crow {
 				crow[j] += av * brow[j]
 			}
 		}
 	}
-	return c
 }
 
 // BF16 computes C = quantize(A)·quantize(B) with float32 accumulation —
 // the baseline precision DeepSeek-V3's FP8 recipe is compared against.
-// The loop runs i-k-j over row slices with a reused float32 accumulator
-// row; per output element the adds still happen in ascending-k order,
-// so results are bit-identical to the naive i-j-k form.
 func BF16(a, b *quant.Matrix) *quant.Matrix {
-	checkShapes(a, b)
-	qa := quantizeAll(quant.BF16, a)
-	qb := quantizeAll(quant.BF16, b)
 	c := quant.NewMatrix(a.Rows, b.Cols)
-	acc := make([]float32, b.Cols)
+	BF16Into(c, a, b, &Workspace{})
+	return c
+}
+
+// BF16Into is BF16 with caller-owned output and workspace. The loop
+// runs i-k-j over row slices with a reused float32 accumulator row; per
+// output element the adds still happen in ascending-k order, so results
+// are bit-identical to the naive i-j-k form.
+func BF16Into(c, a, b *quant.Matrix, ws *Workspace) {
+	checkShapes(a, b)
+	checkOut(c, a, b)
+	qa := shape(&ws.qa, a.Rows, a.Cols)
+	quant.BF16.QuantizeSlice(qa.Data, a.Data)
+	qb := shape(&ws.qb, b.Rows, b.Cols)
+	quant.BF16.QuantizeSlice(qb.Data, b.Data)
+	if cap(ws.acc) < b.Cols {
+		ws.acc = make([]float32, b.Cols)
+	}
+	acc := ws.acc[:b.Cols]
 	for i := 0; i < a.Rows; i++ {
 		clear(acc)
 		arow := qa.Row(i)
@@ -64,7 +120,6 @@ func BF16(a, b *quant.Matrix) *quant.Matrix {
 			crow[j] = float64(v)
 		}
 	}
-	return c
 }
 
 // FP8Config selects the quantization granularity and accumulation path
@@ -120,7 +175,17 @@ var (
 // accumulator; scales multiply each promoted partial on the simulated
 // CUDA cores. The configuration must pass Validate.
 func FP8(a, b *quant.Matrix, cfg FP8Config) *quant.Matrix {
+	c := quant.NewMatrix(a.Rows, b.Cols)
+	FP8Into(c, a, b, cfg, &Workspace{})
+	return c
+}
+
+// FP8Into is FP8 with caller-owned output and workspace: the quantized
+// code matrices, scale vectors, transposed-B layout and tensor-core
+// scratch all live in ws and are reused across calls.
+func FP8Into(c, a, b *quant.Matrix, cfg FP8Config, ws *Workspace) {
 	checkShapes(a, b)
+	checkOut(c, a, b)
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -133,9 +198,10 @@ func FP8(a, b *quant.Matrix, cfg FP8Config) *quant.Matrix {
 	// Quantize A row-by-row into raw FP8 codes plus per-tile scales
 	// (flat buffer, tilesPerRow entries per row). The raw (unscaled)
 	// codes are what the tensor cores see.
-	aCodes := quant.NewMatrix(a.Rows, a.Cols)
+	aCodes := shape(&ws.aCodes, a.Rows, a.Cols)
 	tilesPerRow := (k + quant.TileWidth - 1) / quant.TileWidth
-	aScales := make([]float64, a.Rows*tilesPerRow)
+	ws.aScales = growFloats(ws.aScales, a.Rows*tilesPerRow)
+	aScales := ws.aScales
 	if cfg.PerTensorScales {
 		// One scale for the whole activation tensor — the coarse baseline.
 		scale := quant.QuantizeTileCodes(cfg.Format, a.Data, aCodes.Data)
@@ -167,13 +233,14 @@ func FP8(a, b *quant.Matrix, cfg FP8Config) *quant.Matrix {
 	if cfg.PerTensorScales {
 		blockRows = b.Rows
 	}
-	bCodes := quant.NewMatrix(b.Rows, b.Cols)
-	bScales := quant.QuantizeBlockCodes(cfg.Format, b, blockRows, blockCols, bCodes)
+	bCodes := shape(&ws.bCodes, b.Rows, b.Cols)
+	ws.bScales = quant.QuantizeBlockCodesScratch(cfg.Format, b, blockRows, blockCols, bCodes, ws.bScales)
+	bScales := ws.bScales
 	blocksPerRow := (b.Cols + blockCols - 1) / blockCols
 
 	// Transpose the B codes so the inner dot products read both
 	// operands contiguously instead of striding down a column.
-	bT := quant.NewMatrix(b.Cols, b.Rows)
+	bT := shape(&ws.bT, b.Cols, b.Rows)
 	for r := 0; r < b.Rows; r++ {
 		row := bCodes.Row(r)
 		for j, v := range row {
@@ -185,8 +252,8 @@ func FP8(a, b *quant.Matrix, cfg FP8Config) *quant.Matrix {
 	if groupSize <= 0 {
 		groupSize = 32
 	}
-	c := quant.NewMatrix(a.Rows, b.Cols)
-	scratch := make([]float64, 0, groupSize)
+	ws.scratch = growFloats(ws.scratch, groupSize)
+	scratch := ws.scratch[:0]
 	for i := 0; i < a.Rows; i++ {
 		codesRow := aCodes.Row(i)
 		cRow := c.Row(i)
@@ -216,7 +283,6 @@ func FP8(a, b *quant.Matrix, cfg FP8Config) *quant.Matrix {
 			cRow[j] = float64(acc)
 		}
 	}
-	return c
 }
 
 func checkShapes(a, b *quant.Matrix) {
@@ -225,10 +291,8 @@ func checkShapes(a, b *quant.Matrix) {
 	}
 }
 
-// quantizeAll rounds every element of m to the format, elementwise with
-// no scaling — appropriate for BF16, whose dynamic range needs no scales.
-func quantizeAll(f quant.Format, m *quant.Matrix) *quant.Matrix {
-	out := quant.NewMatrix(m.Rows, m.Cols)
-	f.QuantizeSlice(out.Data, m.Data)
-	return out
+func checkOut(c, a, b *quant.Matrix) {
+	if c.Rows != a.Rows || c.Cols != b.Cols {
+		panic("gemm: output shape does not match operands")
+	}
 }

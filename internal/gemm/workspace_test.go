@@ -1,0 +1,78 @@
+package gemm
+
+import (
+	"math"
+	"testing"
+
+	"dsv3/internal/parallel"
+	"dsv3/internal/quant"
+)
+
+func randMat(seed int64, rows, cols int) *quant.Matrix {
+	rng := parallel.NewRand(seed)
+	m := quant.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func mustEqual(t *testing.T, name string, got, want *quant.Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d != %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s: element %d: %g != %g", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestIntoFormsMatchAllocating runs every Into form over a sequence of
+// different shapes with ONE shared workspace and output buffers dirtied
+// by the previous call — the exact reuse pattern of the training loop —
+// and demands bit-identity with the fresh-allocation entry points.
+func TestIntoFormsMatchAllocating(t *testing.T) {
+	shapes := []struct{ m, k, n int }{
+		{4, 8, 4},
+		{32, 64, 128},
+		{128, 32, 8},
+		{8, 200, 16}, // K not a multiple of the tile width
+		{32, 64, 128},
+		{3, 1, 2}, // shrink
+	}
+	var ws Workspace
+	coarse := DeepSeekV3Recipe()
+	coarse.PerTensorScales = true
+	coarse.PromoteEvery = 0
+	out := quant.NewMatrix(1, 1)
+	reshape := func(rows, cols int) *quant.Matrix {
+		n := rows * cols
+		if cap(out.Data) < n {
+			out.Data = make([]float64, n)
+		}
+		out.Data = out.Data[:n]
+		for i := range out.Data {
+			out.Data[i] = math.NaN() // poison: every element must be written
+		}
+		out.Rows, out.Cols = rows, cols
+		return out
+	}
+	for i, sh := range shapes {
+		a := randMat(int64(100+i), sh.m, sh.k)
+		b := randMat(int64(200+i), sh.k, sh.n)
+
+		RefInto(reshape(sh.m, sh.n), a, b)
+		mustEqual(t, "RefInto", out, Ref(a, b))
+
+		BF16Into(reshape(sh.m, sh.n), a, b, &ws)
+		mustEqual(t, "BF16Into", out, BF16(a, b))
+
+		FP8Into(reshape(sh.m, sh.n), a, b, DeepSeekV3Recipe(), &ws)
+		mustEqual(t, "FP8Into(fine)", out, FP8(a, b, DeepSeekV3Recipe()))
+
+		FP8Into(reshape(sh.m, sh.n), a, b, coarse, &ws)
+		mustEqual(t, "FP8Into(coarse)", out, FP8(a, b, coarse))
+	}
+}

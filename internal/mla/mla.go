@@ -52,29 +52,35 @@ type DecodeCost struct {
 // reuses the same compressed cache — that reuse is what multiplies MLA's
 // arithmetic intensity.
 func AttentionDecodeCost(c *model.Config, ctx int, kvBytesPerElem float64) DecodeCost {
-	a := c.Attention
-	var flopsPerCtxTokenLayer float64
-	switch a.Kind {
-	case model.MLA:
-		latent := float64(a.KVLoraRank)
-		rope := float64(a.QKRopeDim)
-		heads := float64(a.NumQueryHeads)
-		// scores: q·[latent;rope]; values: attn·latent.
-		flopsPerCtxTokenLayer = 2*heads*(latent+rope) + 2*heads*latent
-	default:
-		heads := float64(a.NumQueryHeads)
-		qk := float64(a.QKDim())
-		v := float64(a.VDim())
-		flopsPerCtxTokenLayer = 2*heads*qk + 2*heads*v
-	}
 	kv := c.KVCacheBytesPerToken(kvBytesPerElem) // all layers, per ctx token
-	flops := flopsPerCtxTokenLayer * float64(ctx) * float64(c.Layers)
+	flops := DecodeFLOPsPerCtxTokenLayer(c) * float64(ctx) * float64(c.Layers)
 	bytes := kv * float64(ctx)
 	dc := DecodeCost{FLOPs: flops, KVBytes: bytes}
 	if bytes > 0 {
 		dc.Intensity = flops / bytes
 	}
 	return dc
+}
+
+// DecodeFLOPsPerCtxTokenLayer returns the attention-decode FLOPs one
+// context token costs per layer — the coefficient AttentionDecodeCost
+// scales by ctx and layer count. Exposed so per-step simulators can
+// cache it instead of re-deriving it every event.
+func DecodeFLOPsPerCtxTokenLayer(c *model.Config) float64 {
+	a := c.Attention
+	switch a.Kind {
+	case model.MLA:
+		latent := float64(a.KVLoraRank)
+		rope := float64(a.QKRopeDim)
+		heads := float64(a.NumQueryHeads)
+		// scores: q·[latent;rope]; values: attn·latent.
+		return 2*heads*(latent+rope) + 2*heads*latent
+	default:
+		heads := float64(a.NumQueryHeads)
+		qk := float64(a.QKDim())
+		v := float64(a.VDim())
+		return 2*heads*qk + 2*heads*v
+	}
 }
 
 // DecodeTime returns the roofline attention time of one decode step for

@@ -61,24 +61,97 @@ type Result struct {
 }
 
 type subflow struct {
-	flow      int
-	path      []int
-	remaining units.Bytes
-	rate      float64
-	cap       float64 // per-subflow rate cap; 0 = uncapped
+	flow int
+	// pathStart/pathEnd delimit the subflow's link-ID path inside the
+	// simulation's flat path arena (Sim.paths): the water-filling loops
+	// walk paths every epoch, and one contiguous arena keeps those scans
+	// sequential instead of chasing per-flow slice headers.
+	pathStart, pathEnd int
+	remaining          units.Bytes
+	rate               float64
+	cap                float64 // per-subflow rate cap; 0 = uncapped
 }
 
 // Simulate runs the fluid simulation to completion and returns per-flow
 // finish times. It panics on malformed paths (link IDs out of range),
-// since those are programming errors in the collective layer.
+// since those are programming errors in the collective layer. Each call
+// allocates fresh scratch; hot loops that simulate many flow sets should
+// hold a Sim and call its Simulate method instead.
 func Simulate(g *topology.Graph, flows []Flow) Result {
-	res := Result{FlowFinish: make([]units.Seconds, len(flows))}
-	linkBytes := make([]units.Bytes, len(g.Links))
+	return NewSim().Simulate(g, flows)
+}
 
-	// Explode flows into subflows.
-	var subs []subflow
-	flowRemaining := make([]int, len(flows)) // unfinished subflows per flow
-	flowNetDone := make([]units.Seconds, len(flows))
+// Sim is a reusable simulation context: it owns every scratch buffer
+// the fluid simulation needs (subflow table, water-filling state,
+// admission order, per-flow finish times), so repeated runs — the
+// all-to-all rounds of a collective sweep, the probes of a capacity
+// search — are allocation-free at steady state. A Sim is not safe for
+// concurrent use; sweeps thread one Sim per worker through
+// parallel.MapScratch. Results are byte-identical to the package-level
+// Simulate function: scratch reuse never changes the arithmetic, only
+// where the buffers live.
+type Sim struct {
+	subs          []subflow
+	paths         []int // flat path arena, indexed by subflow.pathStart/End
+	flowRemaining []int // unfinished subflows per flow
+	flowNetDone   []units.Seconds
+	linkBytes     []units.Bytes
+	bySID         []int
+	active        []int
+	flowFinish    []units.Seconds
+	pf            filler
+}
+
+// NewSim returns an empty simulation context. Buffers grow to the
+// high-water mark of the flow sets it simulates and are reused across
+// calls.
+func NewSim() *Sim { return &Sim{} }
+
+// grow returns s resized to n entries, all zero-valued, reusing the
+// backing array when it is large enough.
+func grow[E any](s []E, n int) []E {
+	if cap(s) < n {
+		return make([]E, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// Simulate runs the fluid simulation on the context's reused scratch.
+// The returned Result's FlowFinish slice aliases a buffer owned by the
+// Sim: it is valid until the next Simulate call on the same Sim.
+// Callers that need the finish times beyond that must copy them.
+func (s *Sim) Simulate(g *topology.Graph, flows []Flow) Result {
+	s.flowFinish = grow(s.flowFinish, len(flows))
+	res := Result{FlowFinish: s.flowFinish}
+	s.linkBytes = grow(s.linkBytes, len(g.Links))
+	linkBytes := s.linkBytes
+
+	// Explode flows into subflows. Counting subflows first sizes the
+	// reused tables exactly, so even the cold first call allocates once
+	// instead of append-doubling.
+	nsubs, npath := 0, 0
+	for _, f := range flows {
+		if len(f.Paths) > 0 && f.Bytes > 0 {
+			nsubs += len(f.Paths)
+			for _, p := range f.Paths {
+				npath += len(p)
+			}
+		}
+	}
+	if cap(s.subs) < nsubs {
+		s.subs = make([]subflow, 0, nsubs)
+	}
+	subs := s.subs[:0]
+	if cap(s.paths) < npath {
+		s.paths = make([]int, 0, npath)
+	}
+	arena := s.paths[:0]
+	s.flowRemaining = grow(s.flowRemaining, len(flows))
+	flowRemaining := s.flowRemaining
+	s.flowNetDone = grow(s.flowNetDone, len(flows))
+	flowNetDone := s.flowNetDone
 	for fi, f := range flows {
 		paths := f.Paths
 		if len(paths) == 0 {
@@ -102,10 +175,14 @@ func Simulate(g *topology.Graph, flows []Flow) Result {
 			if f.RateCap > 0 {
 				subCap = f.RateCap / float64(len(paths))
 			}
-			subs = append(subs, subflow{flow: fi, path: p, remaining: share, cap: subCap})
+			start := len(arena)
+			arena = append(arena, p...)
+			subs = append(subs, subflow{flow: fi, pathStart: start, pathEnd: len(arena), remaining: share, cap: subCap})
 			flowRemaining[fi]++
 		}
 	}
+	s.subs = subs
+	s.paths = arena
 	for _, b := range linkBytes {
 		if b > res.MaxLinkBytes {
 			res.MaxLinkBytes = b
@@ -114,7 +191,10 @@ func Simulate(g *topology.Graph, flows []Flow) Result {
 
 	// Group subflows by start time. Most collectives launch everything
 	// at t=0, in which case creation order is already sorted.
-	bySID := make([]int, len(subs))
+	if cap(s.bySID) < len(subs) {
+		s.bySID = make([]int, len(subs))
+	}
+	bySID := s.bySID[:len(subs)]
 	staged := false
 	for i := range bySID {
 		bySID[i] = i
@@ -130,8 +210,9 @@ func Simulate(g *topology.Graph, flows []Flow) Result {
 
 	now := 0.0
 	nextStart := 0
-	var active []int
-	pf := newFiller(g, subs)
+	active := s.active[:0]
+	pf := &s.pf
+	pf.reset(g, subs, arena)
 
 	for {
 		// Admit subflows whose start time has arrived.
@@ -151,7 +232,7 @@ func Simulate(g *topology.Graph, flows []Flow) Result {
 			break
 		}
 
-		pf.assign(subs, active)
+		pf.assign(subs, active, arena)
 
 		// Advance to the next event: earliest subflow completion or the
 		// next admission.
@@ -194,6 +275,7 @@ func Simulate(g *topology.Graph, flows []Flow) Result {
 		}
 		active = stillActive
 	}
+	s.active = active[:0]
 
 	for fi, f := range flows {
 		res.FlowFinish[fi] = flowNetDone[fi] + f.StartupLatency
@@ -205,20 +287,35 @@ func Simulate(g *topology.Graph, flows []Flow) Result {
 }
 
 // filler holds the scratch buffers of progressive filling so the event
-// loop does not reallocate per epoch. Rate-capped subflows are modelled
-// by a private virtual link (IDs beyond the real link range) with the
-// cap as its capacity.
+// loop does not reallocate per epoch — and, embedded in a Sim, not per
+// run either. Rate-capped subflows are modelled by a private virtual
+// link (IDs beyond the real link range) with the cap as its capacity.
 type filler struct {
 	g        *topology.Graph
 	residual []float64
 	count    []int
-	linkSubs [][]int
 	touched  []int
 	frozen   []bool
 	vlink    []int // subflow -> virtual link ID this epoch (-1 none)
+
+	// Per-link subflow lists in CSR form over one flat arena: link lid's
+	// list lives in entries[listStart[lid] : next[lid]], where next is
+	// the write cursor the epoch rebuild advances (rewound to listStart
+	// when a link is first touched in an epoch). reset sizes the arena
+	// from the run's total path footprint (an upper bound on any epoch's
+	// lists), so epoch rebuilds write straight into place — no per-link
+	// slice growth, ever.
+	listStart []int
+	next      []int
+	entries   []int
 }
 
-func newFiller(g *topology.Graph, subs []subflow) *filler {
+// reset prepares the filler for one simulation run, growing (and
+// re-zeroing) the link-indexed scratch as needed. assign relies on
+// count being all-zero between epochs; reset re-establishes that
+// invariant explicitly so an abandoned run (panic) cannot poison the
+// next one.
+func (pf *filler) reset(g *topology.Graph, subs []subflow, arena []int) {
 	// Virtual links exist only for rate-capped subflows; sizing the
 	// link-indexed scratch to links+capped (not links+len(subs)) keeps
 	// the allocation proportional to the real problem — collectives
@@ -229,41 +326,75 @@ func newFiller(g *topology.Graph, subs []subflow) *filler {
 			capped++
 		}
 	}
-	pf := &filler{g: g}
-	total := len(g.Links) + capped
-	pf.residual = make([]float64, total)
-	pf.count = make([]int, total)
-	pf.linkSubs = make([][]int, total)
-	pf.frozen = make([]bool, len(subs))
-	pf.vlink = make([]int, len(subs))
-	return pf
+	pf.g = g
+	nLinks := len(g.Links)
+	total := nLinks + capped
+	pf.residual = grow(pf.residual, total)
+	pf.count = grow(pf.count, total)
+	pf.frozen = grow(pf.frozen, len(subs))
+	pf.vlink = grow(pf.vlink, len(subs))
+
+	// Lay out the CSR arena: count every subflow traversal per link —
+	// an upper bound on any single epoch's list, since an epoch's active
+	// set is a subset of all subflows — then prefix-sum into start
+	// offsets. Virtual links get one slot each (a virtual link carries
+	// exactly its own capped subflow).
+	pf.listStart = grow(pf.listStart, total)
+	if cap(pf.next) < total {
+		pf.next = make([]int, total)
+	} else {
+		pf.next = pf.next[:total] // stale cursors fine: rewound on touch
+	}
+	counts := pf.listStart
+	for _, lid := range arena {
+		counts[lid]++
+	}
+	sum := 0
+	for lid := 0; lid < nLinks; lid++ {
+		c := counts[lid]
+		counts[lid] = sum
+		sum += c
+	}
+	for vid := nLinks; vid < total; vid++ {
+		counts[vid] = sum
+		sum++
+	}
+	if cap(pf.entries) < sum {
+		pf.entries = make([]int, sum)
+	} else {
+		pf.entries = pf.entries[:sum]
+	}
 }
 
 // assign computes the (unique) max-min fair allocation for the active
 // subflows. Ties are broken by lowest link ID for determinism.
-func (pf *filler) assign(subs []subflow, active []int) {
+func (pf *filler) assign(subs []subflow, active []int, arena []int) {
 	nLinks := len(pf.g.Links)
 	pf.touched = pf.touched[:0]
 	nextVirtual := nLinks
 	for _, si := range active {
-		subs[si].rate = 0
+		sub := &subs[si]
+		sub.rate = 0
 		pf.frozen[si] = false
 		pf.vlink[si] = -1
-		for _, lid := range subs[si].path {
+		for _, lid := range arena[sub.pathStart:sub.pathEnd] {
 			if pf.count[lid] == 0 {
 				pf.residual[lid] = pf.g.Links[lid].Capacity
-				pf.linkSubs[lid] = pf.linkSubs[lid][:0]
+				pf.next[lid] = pf.listStart[lid]
 				pf.touched = append(pf.touched, lid)
 			}
 			pf.count[lid]++
-			pf.linkSubs[lid] = append(pf.linkSubs[lid], si)
+			pf.entries[pf.next[lid]] = si
+			pf.next[lid]++
 		}
-		if subs[si].cap > 0 {
+		if sub.cap > 0 {
 			vid := nextVirtual
 			nextVirtual++
-			pf.residual[vid] = subs[si].cap
+			pf.residual[vid] = sub.cap
 			pf.count[vid] = 1
-			pf.linkSubs[vid] = append(pf.linkSubs[vid][:0], si)
+			start := pf.listStart[vid]
+			pf.entries[start] = si
+			pf.next[vid] = start + 1
 			pf.touched = append(pf.touched, vid)
 			pf.vlink[si] = vid
 		}
@@ -299,14 +430,15 @@ func (pf *filler) assign(subs []subflow, active []int) {
 			if pf.count[lid] <= 0 || pf.residual[lid]/float64(pf.count[lid]) != minShare {
 				continue
 			}
-			for _, si := range pf.linkSubs[lid] {
+			for _, si := range pf.entries[pf.listStart[lid]:pf.next[lid]] {
 				if pf.frozen[si] {
 					continue
 				}
 				pf.frozen[si] = true
-				subs[si].rate = rate
+				sub := &subs[si]
+				sub.rate = rate
 				undetermined--
-				for _, plid := range subs[si].path {
+				for _, plid := range arena[sub.pathStart:sub.pathEnd] {
 					pf.residual[plid] -= rate
 					pf.count[plid]--
 				}

@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"dsv3/internal/topology"
+	"dsv3/internal/units"
+)
+
+// reuseFixtures builds a few deliberately different flow sets — sizes,
+// rate caps, staged starts, multipath — over two different graphs, so
+// reusing one Sim across them exercises every grow/reset path.
+func reuseFixtures() []struct {
+	g     *topology.Graph
+	flows []Flow
+} {
+	small := topology.FatTree2{
+		Leaves: 2, Spines: 2, EndpointsPerLeaf: 2,
+		Params: topology.FabricParams{
+			EndpointLinkCap: 10, SwitchLinkCap: 10,
+			EndpointLinkLat: 1e-6, SwitchHopLat: 1e-6,
+		},
+	}.Build()
+	big := topology.FatTree2{
+		Leaves: 4, Spines: 4, EndpointsPerLeaf: 4,
+		Params: topology.FabricParams{
+			EndpointLinkCap: 25, SwitchLinkCap: 25,
+			EndpointLinkLat: 1e-6, SwitchHopLat: 1e-6,
+		},
+	}.Build()
+	smallRouter := NewRouter(small)
+	bigRouter := NewRouter(big)
+	pick := func(r *Router, src, dst int) [][]int {
+		paths, err := r.Select(src, dst, PolicyAdaptive, 0)
+		if err != nil {
+			panic(err)
+		}
+		return paths
+	}
+	sEps := small.Endpoints()
+	bEps := big.Endpoints()
+	return []struct {
+		g     *topology.Graph
+		flows []Flow
+	}{
+		{small, []Flow{
+			{Src: sEps[0], Dst: sEps[2], Bytes: 100, Paths: pick(smallRouter, sEps[0], sEps[2])},
+			{Src: sEps[1], Dst: sEps[3], Bytes: 50, Paths: pick(smallRouter, sEps[1], sEps[3]), RateCap: 3},
+			{Src: sEps[0], Dst: sEps[0], Bytes: 10}, // loopback
+		}},
+		{big, []Flow{
+			{Src: bEps[0], Dst: bEps[9], Bytes: 400, Paths: pick(bigRouter, bEps[0], bEps[9])},
+			{Src: bEps[1], Dst: bEps[8], Bytes: 200, Paths: pick(bigRouter, bEps[1], bEps[8]), StartTime: 2},
+			{Src: bEps[2], Dst: bEps[12], Bytes: 300, Paths: pick(bigRouter, bEps[2], bEps[12]), RateCap: 5},
+			{Src: bEps[3], Dst: bEps[15], Bytes: 100, Paths: pick(bigRouter, bEps[3], bEps[15]), StartTime: 1},
+		}},
+		{small, []Flow{
+			{Src: sEps[2], Dst: sEps[1], Bytes: 75, Paths: pick(smallRouter, sEps[2], sEps[1])},
+		}},
+	}
+}
+
+func cloneResult(r Result) Result {
+	r.FlowFinish = append([]units.Seconds(nil), r.FlowFinish...)
+	return r
+}
+
+// TestSimReuseMatchesSimulate runs heterogeneous flow sets through one
+// Sim (twice over, so shrink-then-grow and grow-then-shrink both
+// happen) and checks every result against the allocation-per-call
+// package function.
+func TestSimReuseMatchesSimulate(t *testing.T) {
+	fixtures := reuseFixtures()
+	sim := NewSim()
+	for round := 0; round < 2; round++ {
+		for i, fx := range fixtures {
+			got := cloneResult(sim.Simulate(fx.g, fx.flows))
+			want := Simulate(fx.g, fx.flows)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d fixture %d: reused Sim diverged\n got %+v\nwant %+v", round, i, got, want)
+			}
+		}
+	}
+}
+
+// TestSimReuseNoBleed pins that two consecutive runs of the same flow
+// set on one Sim are identical — stale scratch (water-filling counts,
+// subflow tables, finish times) must not leak into the next run.
+func TestSimReuseNoBleed(t *testing.T) {
+	fx := reuseFixtures()[1]
+	sim := NewSim()
+	first := cloneResult(sim.Simulate(fx.g, fx.flows))
+	second := cloneResult(sim.Simulate(fx.g, fx.flows))
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("consecutive Sim runs diverged:\n%+v\n%+v", first, second)
+	}
+}

@@ -1,0 +1,80 @@
+package parallel
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapScratchOrdered: results come back in index order regardless of
+// worker count, and each task sees a usable scratch value.
+func TestMapScratchOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		prev := SetWorkers(workers)
+		got, err := MapScratch(50, func() *[]int { return new([]int) }, func(i int, s *[]int) (int, error) {
+			// Reuse the scratch buffer the way a real task would: fully
+			// overwrite before reading.
+			*s = append((*s)[:0], i, i*i)
+			return (*s)[1], nil
+		})
+		SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]int, 50)
+		for i := range want {
+			want[i] = i * i
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: got %v", workers, got)
+		}
+	}
+}
+
+// TestMapScratchOnePerWorker: newScratch runs at most once per worker,
+// and exactly once on the serial path.
+func TestMapScratchOnePerWorker(t *testing.T) {
+	var made atomic.Int64
+	newScratch := func() int { return int(made.Add(1)) }
+
+	prev := SetWorkers(1)
+	if _, err := MapScratch(20, newScratch, func(i, s int) (int, error) { return s, nil }); err != nil {
+		t.Fatal(err)
+	}
+	SetWorkers(prev)
+	if made.Load() != 1 {
+		t.Fatalf("serial path built %d scratches, want 1", made.Load())
+	}
+
+	made.Store(0)
+	prev = SetWorkers(4)
+	if _, err := MapScratch(64, newScratch, func(i, s int) (int, error) { return s, nil }); err != nil {
+		t.Fatal(err)
+	}
+	SetWorkers(prev)
+	if n := made.Load(); n < 1 || n > 4 {
+		t.Fatalf("parallel path built %d scratches, want 1..4", n)
+	}
+}
+
+// TestMapScratchError mirrors Map's error contract: lowest-index error
+// wins, all tasks still run.
+func TestMapScratchError(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	var ran atomic.Int64
+	_, err := MapScratch(16, func() struct{} { return struct{}{} }, func(i int, _ struct{}) (int, error) {
+		ran.Add(1)
+		if i%2 == 1 {
+			return 0, fmt.Errorf("task %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "task 1" {
+		t.Fatalf("want lowest-index error 'task 1', got %v", err)
+	}
+	if ran.Load() != 16 {
+		t.Fatalf("only %d of 16 tasks ran", ran.Load())
+	}
+}

@@ -103,6 +103,66 @@ func Run(n int, fn func(i int) error) error {
 	return err
 }
 
+// MapScratch is Map with per-worker scratch state: each worker
+// goroutine calls newScratch once and hands the same value to every
+// task it runs, so tasks can reuse allocation-heavy buffers (flow
+// builders, simulator contexts) without any cross-task synchronization.
+//
+// The determinism contract extends to scratch: fn's result must be a
+// pure function of its index — scratch may only carry buffers whose
+// contents are fully overwritten (or explicitly reset) before use, never
+// values that leak one task's data into another's result. Under that
+// rule worker count and task-to-worker assignment remain invisible, and
+// the serial path (one scratch for all tasks) is byte-identical to any
+// parallel schedule.
+func MapScratch[T, S any](n int, newScratch func() S, fn func(i int, scratch S) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		scratch := newScratch()
+		var firstErr error
+		for i := 0; i < n; i++ {
+			r, err := fn(i, scratch)
+			results[i] = r
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return results, firstErr
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			scratch := newScratch()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = fn(i, scratch)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
 // DeriveSeed derives a statistically independent child seed from a base
 // seed and a task index using the splitmix64 finalizer (the same mixer
 // the routing layers use for ECMP hashing). Two properties matter:

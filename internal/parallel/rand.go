@@ -20,3 +20,17 @@ func NewRand(seed int64) *rand.Rand {
 func TaskRand(base int64, index int) *rand.Rand {
 	return NewRand(DeriveSeed(base, index))
 }
+
+// NewReseedable returns a seeded RNG together with a reseed function
+// that restarts the stream in place: reseed(s) leaves the RNG in
+// exactly the state of a fresh NewRand(s), without allocating. Long-
+// lived simulation engines reuse one RNG across runs this way while
+// keeping the per-run streams byte-identical to fresh construction.
+func NewReseedable(seed int64) (*rand.Rand, func(int64)) {
+	rng := rand.New(rand.NewSource(seed))
+	// Rand.Seed (not just Source.Seed) so the Rand's buffered Read()
+	// cursor is reset too — reseeding must be indistinguishable from
+	// fresh construction for every draw kind, bytes included.
+	//lint:ignore SA1019 Seed-with-known-value is exactly the documented reseed contract here; the deprecation targets global-Seed misuse.
+	return rng, rng.Seed
+}

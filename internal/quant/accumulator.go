@@ -61,11 +61,28 @@ func pow2(n int) float64 { return math.Float64frombits(uint64(n+1023) << 52) }
 // truncateToRegister rounds v to RegisterMantBits mantissa bits,
 // truncating toward zero unless RoundRegister is set.
 func (a Accumulator) truncateToRegister(v float64) float64 {
+	// Normal-range fast path: exponent straight from the bit pattern,
+	// zero / subnormal / Inf / NaN (e-field 0 or 0x7ff) drop to the
+	// general path below.
+	if e := int(math.Float64bits(v)>>52) & 0x7ff; e != 0 && e != 0x7ff {
+		if shift := (e - 1023) - a.RegisterMantBits; shift >= -1021 && shift <= 1022 {
+			// quantum is a power of two, so scaling by it (either way)
+			// is exact: multiplying by the inverse matches dividing
+			// bit-for-bit.
+			quantum, invQuantum := pow2(shift), pow2(-shift)
+			if a.RoundRegister {
+				return math.RoundToEven(v*invQuantum) * quantum
+			}
+			return math.Trunc(v*invQuantum) * quantum
+		}
+	}
+	return a.truncateToRegisterSlow(v)
+}
+
+func (a Accumulator) truncateToRegisterSlow(v float64) float64 {
 	if v == 0 || math.IsInf(v, 0) || math.IsNaN(v) {
 		return v
 	}
-	// quantum is a power of two, so scaling by it (either way) is exact:
-	// multiplying by the inverse matches dividing bit-for-bit.
 	shift := normExponent(v) - a.RegisterMantBits
 	if shift >= -1021 && shift <= 1022 {
 		quantum, invQuantum := pow2(shift), pow2(-shift)
@@ -85,6 +102,65 @@ func (a Accumulator) truncateToRegister(v float64) float64 {
 // every addend is truncated to AlignFracBits fraction bits relative to
 // the group's maximum exponent.
 func (a Accumulator) alignedGroupSum(products []float64) float64 {
+	// The group's maximum exponent is the exponent of its largest-
+	// magnitude element, and IEEE-754 magnitude order is the order of
+	// the sign-masked bit patterns — one branch-predictable max per
+	// element, no per-element exponent decoding.
+	var maxBits uint64
+	for _, p := range products {
+		if b := math.Float64bits(p) &^ (1 << 63); b > maxBits {
+			maxBits = b
+		}
+	}
+	return a.groupSumWithMax(products, maxBits)
+}
+
+// groupSumWithMax is alignedGroupSum after the maximum-magnitude scan;
+// maxBits is the largest sign-masked float64 bit pattern in products.
+func (a Accumulator) groupSumWithMax(products []float64, maxBits uint64) float64 {
+	if maxBits == 0 {
+		return 0 // every product is exactly zero
+	}
+	maxE := int(maxBits >> 52)
+	// The fast path needs a normal maximum (subnormal exponents take a
+	// Frexp), and bounds under which the reassociated sum below is
+	// provably exact and finite; real GEMM shapes never leave them.
+	if maxE == 0 || maxE > 1000+1023 || a.AlignFracBits > 30 || len(products) > 1<<20 {
+		return a.alignedGroupSumSlow(products)
+	}
+	maxExp := maxE - 1023
+	shift := a.AlignFracBits - maxExp
+	if shift < -1021 || shift > 1022 {
+		return a.alignedGroupSumSlow(products)
+	}
+	// Each aligned addend Trunc(p·2^shift) is an integer of magnitude
+	// < 2^(AlignFracBits+1), so partial sums of a group stay far inside
+	// float64's exact integer range: every addition is exact, the sum
+	// is associative, and one final multiply by the (power-of-two)
+	// quantum is bit-identical to scaling each addend — the classic
+	// sequential loop, reassociated for free. (Subnormal non-maximum
+	// elements are fine here: power-of-two multiplication and division
+	// are both correctly rounded to the same value, and Trunc keeps the
+	// addends integral either way.)
+	quantum, invQuantum := pow2(-shift), pow2(shift)
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+3 < len(products); i += 4 {
+		s0 += math.Trunc(products[i] * invQuantum)
+		s1 += math.Trunc(products[i+1] * invQuantum)
+		s2 += math.Trunc(products[i+2] * invQuantum)
+		s3 += math.Trunc(products[i+3] * invQuantum)
+	}
+	for ; i < len(products); i++ {
+		s0 += math.Trunc(products[i] * invQuantum)
+	}
+	return (s0 + s1 + s2 + s3) * quantum
+}
+
+// alignedGroupSumSlow is the fully general alignment loop: float64-
+// subnormal products and out-of-range shifts (alignment quanta beyond
+// the normal float64 range) are handled exactly as written.
+func (a Accumulator) alignedGroupSumSlow(products []float64) float64 {
 	maxExp := math.MinInt32
 	for _, p := range products {
 		// Exponent straight from the bit pattern (sign masked off);
@@ -145,17 +221,29 @@ func (a Accumulator) DotProductScratch(x, y, scratch []float64) float64 {
 	if group <= 0 {
 		group = 32
 	}
-	products := scratch[:0]
-	var acc float64
-	for i := range x {
-		products = append(products, x[i]*y[i])
-		if len(products) == group {
-			acc = a.truncateToRegister(acc + a.alignedGroupSum(products))
-			products = products[:0]
-		}
+	if cap(scratch) < group {
+		scratch = make([]float64, group)
 	}
-	if len(products) > 0 {
-		acc = a.truncateToRegister(acc + a.alignedGroupSum(products))
+	var acc float64
+	for start := 0; start < len(x); start += group {
+		end := start + group
+		if end > len(x) {
+			end = len(x)
+		}
+		xs := x[start:end]
+		ys := y[start:end:end]
+		products := scratch[:len(xs)]
+		// One fused pass: form the exact products and track the largest
+		// magnitude (max of sign-masked bit patterns = max |product|).
+		var maxBits uint64
+		for i, xv := range xs {
+			p := xv * ys[i]
+			products[i] = p
+			if b := math.Float64bits(p) &^ (1 << 63); b > maxBits {
+				maxBits = b
+			}
+		}
+		acc = a.truncateToRegister(acc + a.groupSumWithMax(products, maxBits))
 	}
 	return acc
 }

@@ -1,0 +1,201 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"dsv3/internal/parallel"
+)
+
+// refQuantize is the pre-fast-path quantization, kept verbatim as the
+// semantic reference for the bit-trick path.
+func refQuantize(f Format, x float64) float64 {
+	if x == 0 || math.IsNaN(x) {
+		return x
+	}
+	sign := 1.0
+	a := x
+	if x < 0 {
+		sign = -1
+		a = -x
+	}
+	if math.IsInf(a, 0) {
+		if f.Saturate {
+			return sign * f.MaxFinite
+		}
+		return x
+	}
+	_, exp := math.Frexp(a)
+	normExp := exp - 1
+	minNormExp := 1 - f.Bias
+	qexp := normExp
+	if qexp < minNormExp {
+		qexp = minNormExp
+	}
+	quantum := math.Ldexp(1, qexp-f.MantBits)
+	q := math.RoundToEven(a/quantum) * quantum
+	if q > f.MaxFinite {
+		if f.Saturate {
+			q = f.MaxFinite
+		} else {
+			q = math.Inf(1)
+		}
+	}
+	return sign * q
+}
+
+func quantizeEdgeCases(f Format) []float64 {
+	cases := []float64{
+		0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1),
+		1, -1, 0.5, -0.5, math.Nextafter(1, 2), math.Nextafter(1, 0),
+		f.MaxFinite, -f.MaxFinite, f.MaxFinite * (1 + 1e-3), f.MaxFinite * 2,
+		f.MinNormal(), f.MinNormal() * (1 - 1e-9), f.MinSubnormal(), f.MinSubnormal() / 2,
+		f.MinSubnormal() * 1.5,  // rounds up to a subnormal step
+		5e-324, -5e-324, 1e-310, // float64 subnormals
+		math.MaxFloat64, -math.MaxFloat64,
+	}
+	// Values straddling every rounding boundary near the format's
+	// epsilon, both signs.
+	for _, m := range []float64{1, 3, 7, 100, 447, 448, 449} {
+		for _, d := range []float64{-1e-12, 0, 1e-12} {
+			cases = append(cases, m+d, -(m + d))
+		}
+	}
+	return cases
+}
+
+// TestQuantizeFastPathMatchesReference sweeps edge cases plus a large
+// random sample through every format and demands bit-identical results
+// (NaN compared as NaN).
+func TestQuantizeFastPathMatchesReference(t *testing.T) {
+	rng := parallel.NewRand(11)
+	formats := []Format{E4M3, E5M2, E5M6, FP16, BF16, FP32}
+	for _, f := range formats {
+		xs := quantizeEdgeCases(f)
+		for i := 0; i < 20000; i++ {
+			xs = append(xs, rng.NormFloat64()*math.Pow(10, float64(rng.Intn(13)-6)))
+		}
+		for _, x := range xs {
+			got, want := f.Quantize(x), refQuantize(f, x)
+			if math.IsNaN(want) {
+				if !math.IsNaN(got) {
+					t.Fatalf("%s.Quantize(%g) = %g, want NaN", f.Name, x, got)
+				}
+				continue
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s.Quantize(%g) = %g (%#x), want %g (%#x)",
+					f.Name, x, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestAlignedGroupSumFastMatchesSlow pins the reassociated integer-sum
+// fast path against the sequential general path across accumulator
+// configurations, including zero-heavy, subnormal and mixed-magnitude
+// groups.
+func TestAlignedGroupSumFastMatchesSlow(t *testing.T) {
+	rng := parallel.NewRand(12)
+	accs := []Accumulator{
+		HopperFP8(),
+		FP32Reference(),
+		{GroupSize: 16, AlignFracBits: 10, RegisterMantBits: 10},
+		{GroupSize: 32, AlignFracBits: 13, RegisterMantBits: 13, RoundRegister: true},
+	}
+	groups := [][]float64{
+		{},
+		{0, 0, 0},
+		{1.5},
+		{1e-320, 2e-320, -1e-320},      // all float64-subnormal
+		{1e-320, 1.0, -3.5},            // subnormal mixed with normals
+		{math.Inf(1), 1, 2},            // non-finite
+		{1e300, -1e300, 1e284, -1e284}, // huge exponents
+	}
+	for g := 0; g < 200; g++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * math.Pow(2, float64(rng.Intn(40)-20))
+			if rng.Intn(5) == 0 {
+				xs[i] = 0
+			}
+		}
+		groups = append(groups, xs)
+	}
+	for _, a := range accs {
+		for i, g := range groups {
+			got := a.alignedGroupSum(g)
+			want := a.alignedGroupSumSlow(g)
+			if math.IsNaN(want) && math.IsNaN(got) {
+				continue
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("acc %+v group %d: fast %g (%#x) != slow %g (%#x)",
+					a, i, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestDotProductScratchMatchesDotProduct: the chunked, fused form must
+// equal the public DotProduct on every length, including partial final
+// groups.
+func TestDotProductScratchMatchesDotProduct(t *testing.T) {
+	rng := parallel.NewRand(13)
+	a := HopperFP8()
+	for _, n := range []int{0, 1, 7, 31, 32, 33, 64, 100, 129} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = E4M3.Quantize(rng.NormFloat64())
+			y[i] = E4M3.Quantize(rng.NormFloat64())
+		}
+		got := a.DotProductScratch(x, y, make([]float64, 0, a.GroupSize))
+		want := a.DotProduct(x, y)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("n=%d: scratch %g != %g", n, got, want)
+		}
+	}
+}
+
+// TestTileScaleMatchesMaxScan pins the bit-pattern magnitude scan
+// against the math.Max/math.Abs definition, NaN and Inf included.
+func TestTileScaleMatchesMaxScan(t *testing.T) {
+	ref := func(f Format, tile []float64) float64 {
+		maxAbs := 0.0
+		for _, x := range tile {
+			maxAbs = math.Max(maxAbs, math.Abs(x))
+		}
+		scale := 1.0
+		if maxAbs > 0 {
+			scale = maxAbs / f.MaxFinite
+		}
+		return scale
+	}
+	rng := parallel.NewRand(14)
+	tiles := [][]float64{
+		{},
+		{0, 0},
+		{math.NaN(), 3, math.Inf(1)},
+		{math.Inf(-1), 2},
+		{-5, 4.9},
+	}
+	for i := 0; i < 100; i++ {
+		tile := make([]float64, 1+rng.Intn(128))
+		for j := range tile {
+			tile[j] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(9)-4))
+		}
+		tiles = append(tiles, tile)
+	}
+	for i, tile := range tiles {
+		got := tileScale(E4M3, tile)
+		want := ref(E4M3, tile)
+		if math.IsNaN(want) && math.IsNaN(got) {
+			continue
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("tile %d: scale %g != %g", i, got, want)
+		}
+	}
+}

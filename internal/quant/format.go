@@ -61,6 +61,36 @@ func (f Format) Bits() int { return 1 + f.ExpBits + f.MantBits }
 // Quantize rounds x to the nearest representable value (round-to-nearest-
 // even), respecting subnormals and the format's overflow behaviour.
 func (f Format) Quantize(x float64) float64 {
+	// Fast path for format-normal finite x: rounding to MantBits bits of
+	// the leading-1 mantissa is round-to-nearest-even at the float64
+	// mantissa's (52-MantBits)-bit boundary, which the classic add-and-
+	// mask carry trick computes directly — a mantissa overflow carries
+	// into the exponent field exactly as the arithmetic version would.
+	// Format-subnormal, float64-subnormal, zero, Inf and NaN inputs take
+	// the general path; the overflow clamp below matches it bit for bit.
+	bits := math.Float64bits(x)
+	if e := int(bits>>52) & 0x7ff; e != 0 && e != 0x7ff && e-1023 >= 1-f.Bias && f.MantBits < 52 {
+		drop := uint(52 - f.MantBits)
+		r := bits + ((bits>>drop)&1 + (1<<(drop-1) - 1))
+		r &^= 1<<drop - 1
+		q := math.Float64frombits(r)
+		if q > f.MaxFinite || q < -f.MaxFinite {
+			if f.Saturate {
+				if q > 0 {
+					return f.MaxFinite
+				}
+				return -f.MaxFinite
+			}
+			return math.Inf(1) * q
+		}
+		return q
+	}
+	return f.quantizeSlow(x)
+}
+
+// quantizeSlow is the general quantization path: format-subnormal
+// magnitudes, zeros, and non-finite values.
+func (f Format) quantizeSlow(x float64) float64 {
 	if x == 0 || math.IsNaN(x) {
 		return x
 	}
@@ -76,16 +106,32 @@ func (f Format) Quantize(x float64) float64 {
 		}
 		return x
 	}
-	// a = frac × 2^exp with frac in [0.5, 1) => normalized exponent exp-1.
-	_, exp := math.Frexp(a)
-	normExp := exp - 1
+	// a = frac × 2^exp with frac in [0.5, 1) => normalized exponent
+	// exp-1, read straight from the float64 bit pattern (Frexp only for
+	// float64-subnormal a, far below any format's quantum anyway).
+	var normExp int
+	if e := int(math.Float64bits(a)>>52) & 0x7ff; e != 0 {
+		normExp = e - 1023
+	} else {
+		_, exp := math.Frexp(a)
+		normExp = exp - 1
+	}
 	minNormExp := 1 - f.Bias
 	qexp := normExp
 	if qexp < minNormExp {
 		qexp = minNormExp // subnormal range: fixed quantum
 	}
-	quantum := math.Ldexp(1, qexp-f.MantBits)
-	q := math.RoundToEven(a/quantum) * quantum
+	shift := qexp - f.MantBits
+	var q float64
+	if shift >= -1021 && shift <= 1022 {
+		// quantum is a power of two, so multiplying by its inverse is
+		// exact and bit-identical to dividing by it.
+		quantum, invQuantum := pow2(shift), pow2(-shift)
+		q = math.RoundToEven(a*invQuantum) * quantum
+	} else {
+		quantum := math.Ldexp(1, shift)
+		q = math.RoundToEven(a/quantum) * quantum
+	}
 	if q > f.MaxFinite {
 		if f.Saturate {
 			q = f.MaxFinite

@@ -62,18 +62,56 @@ func QuantizePerTensor(f Format, xs []float64) ScaledTile {
 // This is the allocation-free form of QuantizeTile used by the GEMM
 // hot path: dequantized value = code × scale.
 func QuantizeTileCodes(f Format, tile, codes []float64) float64 {
-	maxAbs := 0.0
-	for _, x := range tile {
-		maxAbs = math.Max(maxAbs, math.Abs(x))
-	}
-	scale := 1.0
-	if maxAbs > 0 {
-		scale = maxAbs / f.MaxFinite
-	}
+	scale := tileScale(f, tile)
 	for i, x := range tile {
 		codes[i] = f.Quantize(x / scale)
 	}
 	return scale
+}
+
+// tileScale returns the shared scale mapping the tile's maximum
+// magnitude onto the format's largest finite value (1 for a zero tile).
+// The magnitude scan compares sign-masked bit patterns — IEEE-754
+// magnitude order — instead of going through math.Max/math.Abs; the
+// non-finite corner (NaN bit patterns order above Inf, while math.Max
+// gives Inf precedence over NaN) rescans to reproduce the original
+// semantics exactly.
+func tileScale(f Format, tile []float64) float64 {
+	var maxBits uint64
+	for _, x := range tile {
+		if b := math.Float64bits(x) &^ (1 << 63); b > maxBits {
+			maxBits = b
+		}
+	}
+	if maxBits > infBits {
+		return nanMaxScale(f, tile)
+	}
+	return scaleFromMaxBits(f, maxBits)
+}
+
+const infBits = uint64(0x7ff) << 52
+
+// scaleFromMaxBits finalizes a sign-masked bit-pattern magnitude scan
+// into the tile/block scale. maxBits must be finite or exactly Inf;
+// the NaN case (maxBits > infBits) is resolved by nanMaxScale.
+func scaleFromMaxBits(f Format, maxBits uint64) float64 {
+	if maxBits == 0 {
+		return 1
+	}
+	return math.Float64frombits(maxBits) / f.MaxFinite
+}
+
+// nanMaxScale handles a magnitude scan that saw a NaN: math.Max gives
+// an infinity precedence over NaN (so any Inf element still yields an
+// Inf max and an Inf scale), while a NaN max fails the `maxAbs > 0`
+// guard and leaves the scale at 1.
+func nanMaxScale(f Format, tile []float64) float64 {
+	for _, x := range tile {
+		if math.IsInf(x, 0) {
+			return math.Inf(1) / f.MaxFinite
+		}
+	}
+	return 1
 }
 
 // QuantizeBlockCodes quantizes m per blockRows×blockCols block into raw
@@ -83,12 +121,22 @@ func QuantizeTileCodes(f Format, tile, codes []float64) float64 {
 // where the scale is applied once per promoted partial rather than per
 // element.
 func QuantizeBlockCodes(f Format, m *Matrix, blockRows, blockCols int, codes *Matrix) []float64 {
+	return QuantizeBlockCodesScratch(f, m, blockRows, blockCols, codes, nil)
+}
+
+// QuantizeBlockCodesScratch is QuantizeBlockCodes with a caller-provided
+// scale buffer: scales are appended to scratch[:0] (reallocating only if
+// its capacity is short), so repeated GEMM calls reuse one buffer.
+func QuantizeBlockCodesScratch(f Format, m *Matrix, blockRows, blockCols int, codes *Matrix, scratch []float64) []float64 {
 	if codes.Rows != m.Rows || codes.Cols != m.Cols {
 		panic("quant: QuantizeBlockCodes shape mismatch")
 	}
 	blocksPerRow := (m.Cols + blockCols - 1) / blockCols
 	blocksPerCol := (m.Rows + blockRows - 1) / blockRows
-	scales := make([]float64, 0, blocksPerRow*blocksPerCol)
+	scales := scratch[:0]
+	if cap(scales) < blocksPerRow*blocksPerCol {
+		scales = make([]float64, 0, blocksPerRow*blocksPerCol)
+	}
 	for br := 0; br < m.Rows; br += blockRows {
 		rEnd := br + blockRows
 		if rEnd > m.Rows {
@@ -99,16 +147,23 @@ func QuantizeBlockCodes(f Format, m *Matrix, blockRows, blockCols int, codes *Ma
 			if cEnd > m.Cols {
 				cEnd = m.Cols
 			}
-			maxAbs := 0.0
+			var maxBits uint64
 			for r := br; r < rEnd; r++ {
 				row := m.Row(r)[bc:cEnd]
 				for _, x := range row {
-					maxAbs = math.Max(maxAbs, math.Abs(x))
+					if b := math.Float64bits(x) &^ (1 << 63); b > maxBits {
+						maxBits = b
+					}
 				}
 			}
-			scale := 1.0
-			if maxAbs > 0 {
-				scale = maxAbs / f.MaxFinite
+			var scale float64
+			if maxBits > infBits {
+				scale = 1
+				for r := br; r < rEnd && scale == 1; r++ {
+					scale = nanMaxScale(f, m.Row(r)[bc:cEnd])
+				}
+			} else {
+				scale = scaleFromMaxBits(f, maxBits)
 			}
 			scales = append(scales, scale)
 			for r := br; r < rEnd; r++ {

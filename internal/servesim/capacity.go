@@ -103,10 +103,14 @@ func (p CapacityPlanner) Find(cfg Config, w Workload) (*CapacityResult, error) {
 	}
 
 	res := &CapacityResult{}
+	// One engine serves every probe of the search: the doubling and
+	// bisection trail reuses the event heap, request arena and metric
+	// buffers run after run, so a probe allocates only its Report.
+	eng := NewEngine()
 	probe := func(rate float64) (*Report, bool, error) {
 		pw := w
 		pw.RatePerSec = rate
-		rep, err := Run(cfg, pw)
+		rep, err := eng.Run(cfg, pw)
 		if err != nil {
 			return nil, false, err
 		}

@@ -71,6 +71,41 @@ func (l LatencyModel) commBytesPerToken() units.Bytes {
 	return l.EP.CommBytesPerStep() / float64(l.EP.TokensPerDevice)
 }
 
+// latConsts caches every per-configuration constant of the latency
+// formulas, so the event loop does not re-derive parameter counts, EP
+// traffic and rooflines on every decode step. Each field holds exactly
+// the value the corresponding sub-expression produced before hoisting
+// (same operations, same order), so the cached formulas below are
+// bit-identical to recomputing from the LatencyModel each call.
+type latConsts struct {
+	layers    float64
+	peak, mem float64 // achieved FLOPS / memory bandwidth
+
+	commPerToken       units.Bytes   // commBytesPerToken()
+	activeNonEmbedding float64       // Model.Params().ActiveNonEmbedding
+	weightStream       units.Seconds // WeightBytes / mem
+
+	attnFlopsPerCtxLayer float64     // per-context-token per-layer decode attention FLOPs
+	kvPerToken           units.Bytes // Model.KVCacheBytesPerToken(KVBytesPerElem)
+	prefillAttnCoef      float64     // 2 · heads · (QKDim+VDim)
+}
+
+// consts derives the cached constants. One call per simulation run.
+func (l LatencyModel) consts() latConsts {
+	a := l.Model.Attention
+	return latConsts{
+		layers:               float64(l.Model.Layers),
+		peak:                 l.Accel.PeakFLOPS * l.Efficiency,
+		mem:                  l.Accel.MemBandwidth * l.Efficiency,
+		commPerToken:         l.commBytesPerToken(),
+		activeNonEmbedding:   l.Model.Params().ActiveNonEmbedding,
+		weightStream:         l.WeightBytes / (l.Accel.MemBandwidth * l.Efficiency),
+		attnFlopsPerCtxLayer: mla.DecodeFLOPsPerCtxTokenLayer(l.Model),
+		kvPerToken:           l.Model.KVCacheBytesPerToken(l.KVBytesPerElem),
+		prefillAttnCoef:      2 * float64(a.NumQueryHeads) * float64(a.QKDim()+a.VDim()),
+	}
+}
+
 // batchAttention accumulates the attention decode cost of a batch with
 // per-request context lengths.
 type batchAttention struct {
@@ -80,9 +115,16 @@ type batchAttention struct {
 
 // addContext folds one request at context length ctx into the batch.
 func (l LatencyModel) addContext(b *batchAttention, ctx int) {
-	dc := mla.AttentionDecodeCost(l.Model, ctx, l.KVBytesPerElem)
-	b.FLOPs += dc.FLOPs
-	b.KVBytes += dc.KVBytes
+	l.addContextC(l.consts(), b, ctx)
+}
+
+// addContextC is addContext over precomputed constants: the same
+// flops-per-context-token-per-layer · ctx · layers and KV-bytes · ctx
+// products mla.AttentionDecodeCost forms, without re-deriving the
+// coefficients.
+func (l LatencyModel) addContextC(lc latConsts, b *batchAttention, ctx int) {
+	b.FLOPs += lc.attnFlopsPerCtxLayer * float64(ctx) * lc.layers
+	b.KVBytes += lc.kvPerToken * float64(ctx)
 }
 
 // DecodeStepTime returns the duration of one continuous-batching
@@ -94,31 +136,31 @@ func (l LatencyModel) addContext(b *batchAttention, ctx int) {
 // layer under dual-micro-batch overlap, matching
 // inference.EPConfig.AnalyzeWithCompute.
 func (l LatencyModel) DecodeStepTime(batch int, attn batchAttention) units.Seconds {
+	return l.decodeStepTime(l.consts(), batch, attn)
+}
+
+func (l LatencyModel) decodeStepTime(lc latConsts, batch int, attn batchAttention) units.Seconds {
 	if batch <= 0 {
 		return 0
 	}
-	layers := float64(l.Model.Layers)
-	peak := l.Accel.PeakFLOPS * l.Efficiency
-	mem := l.Accel.MemBandwidth * l.Efficiency
+	commPerLayer := lc.commPerToken * float64(batch) / l.InterconnectBW
 
-	commPerLayer := l.commBytesPerToken() * float64(batch) / l.InterconnectBW
-
-	attnTime := attn.FLOPs / peak
-	if kv := attn.KVBytes / mem; kv > attnTime {
+	attnTime := attn.FLOPs / lc.peak
+	if kv := attn.KVBytes / lc.mem; kv > attnTime {
 		attnTime = kv
 	}
-	linFLOPs := 2 * l.Model.Params().ActiveNonEmbedding * float64(batch)
-	linTime := linFLOPs / peak
-	if w := l.WeightBytes / mem; w > linTime {
-		linTime = w
+	linFLOPs := 2 * lc.activeNonEmbedding * float64(batch)
+	linTime := linFLOPs / lc.peak
+	if lc.weightStream > linTime {
+		linTime = lc.weightStream
 	}
-	computePerLayer := (attnTime + linTime) / layers
+	computePerLayer := (attnTime + linTime) / lc.layers
 
 	per := commPerLayer
 	if computePerLayer > per {
 		per = computePerLayer
 	}
-	return 2 * per * layers
+	return 2 * per * lc.layers
 }
 
 // PrefillTime returns the duration of prefilling a prompt of the given
@@ -129,17 +171,19 @@ func (l LatencyModel) DecodeStepTime(batch int, attn batchAttention) units.Secon
 // prefills), and the expert-parallel dispatch/combine traffic for all
 // prompt tokens.
 func (l LatencyModel) PrefillTime(promptTokens int) units.Seconds {
+	return l.prefillTime(l.consts(), promptTokens)
+}
+
+func (l LatencyModel) prefillTime(lc latConsts, promptTokens int) units.Seconds {
 	tokens := float64(promptTokens)
-	a := l.Model.Attention
-	linear := 2 * l.Model.Params().ActiveNonEmbedding * tokens
-	attn := 2 * float64(a.NumQueryHeads) * float64(a.QKDim()+a.VDim()) *
-		tokens * tokens / 2 * float64(l.Model.Layers)
-	compute := (linear + attn) / (l.Accel.PeakFLOPS * l.Efficiency)
-	if stream := l.WeightBytes / (l.Accel.MemBandwidth * l.Efficiency); stream > compute {
-		compute = stream
+	linear := 2 * lc.activeNonEmbedding * tokens
+	attn := lc.prefillAttnCoef * tokens * tokens / 2 * lc.layers
+	compute := (linear + attn) / lc.peak
+	if lc.weightStream > compute {
+		compute = lc.weightStream
 	}
 
-	comm := l.commBytesPerToken() * tokens * float64(l.Model.Layers) / l.InterconnectBW
+	comm := lc.commPerToken * tokens * lc.layers / l.InterconnectBW
 	if comm > compute {
 		return comm
 	}
@@ -150,4 +194,10 @@ func (l LatencyModel) PrefillTime(promptTokens int) units.Seconds {
 // payload a prefill->decode migration moves.
 func (l LatencyModel) KVBytesForContext(tokens int) units.Bytes {
 	return l.Model.KVCacheBytesPerToken(l.KVBytesPerElem) * float64(tokens)
+}
+
+// kvBytesForContext is KVBytesForContext over the cached per-token
+// footprint.
+func (l LatencyModel) kvBytesForContext(lc latConsts, tokens int) units.Bytes {
+	return lc.kvPerToken * float64(tokens)
 }

@@ -1,7 +1,7 @@
 package servesim
 
 import (
-	"sort"
+	"slices"
 
 	"dsv3/internal/parallel"
 	"dsv3/internal/stats"
@@ -66,23 +66,30 @@ type Report struct {
 	Timeline []TimelinePoint
 }
 
-// report assembles the Report after the event loop drains.
-func (e *engine) report() *Report {
+// report assembles the Report after the event loop drains. The sample
+// vectors live in engine scratch and the percentile summaries sort them
+// in place; only the Report itself (and its Timeline copy — the sample
+// buffer is recycled) is allocated.
+func (e *Engine) report() *Report {
 	r := &Report{
 		Requests:        len(e.completed),
 		Completed:       len(e.completed),
 		Preemptions:     e.preempts,
 		DecodeSteps:     e.steps,
 		PeakKVOccupancy: e.peakOcc,
-		Timeline:        e.samples,
+	}
+	if len(e.samples) > 0 {
+		r.Timeline = append([]TimelinePoint(nil), e.samples...)
 	}
 	// Completion order depends on scheduling; metrics are over the
-	// request population, so sort by ID for a canonical view.
-	sort.Slice(e.completed, func(i, j int) bool { return e.completed[i].ID < e.completed[j].ID })
+	// request population, so sort by ID for a canonical view. IDs are
+	// unique, so any sort algorithm yields the same order; SortFunc
+	// avoids sort.Slice's closure boxing.
+	slices.SortFunc(e.completed, func(a, b *reqState) int { return a.ID - b.ID })
 
-	ttft := make([]float64, 0, len(e.completed))
-	tpot := make([]float64, 0, len(e.completed))
-	e2e := make([]float64, 0, len(e.completed))
+	ttft := e.ttft[:0]
+	tpot := e.tpot[:0]
+	e2e := e.e2e[:0]
 	var lastArrival, lastDone units.Seconds
 	meetsSLO := 0
 	for _, req := range e.completed {
@@ -115,9 +122,10 @@ func (e *engine) report() *Report {
 	if r.Completed > 0 {
 		r.SLOAttainment = float64(meetsSLO) / float64(r.Completed)
 	}
-	r.TTFT = stats.Summarize(ttft)
-	r.TPOT = stats.Summarize(tpot)
-	r.E2E = stats.Summarize(e2e)
+	e.ttft, e.tpot, e.e2e = ttft[:0], tpot[:0], e2e[:0]
+	r.TTFT = stats.SummarizeSorting(ttft)
+	r.TPOT = stats.SummarizeSorting(tpot)
+	r.E2E = stats.SummarizeSorting(e2e)
 	if e.steps > 0 {
 		r.MeanBatch = float64(e.stepBatch) / float64(e.steps)
 	}
@@ -141,16 +149,17 @@ type SweepPoint struct {
 }
 
 // RateSweep simulates the workload at each arrival rate, fanning the
-// independent runs out over the deterministic worker pool. Each point
-// runs on its own engine with a seed derived from (cfg.Seed, index),
-// so the sweep is byte-identical for any worker count.
+// independent runs out over the deterministic worker pool with one
+// reusable Engine per worker. Each point runs with a seed derived from
+// (cfg.Seed, index), so the sweep is byte-identical for any worker
+// count (and for pooled vs fresh engines).
 func RateSweep(cfg Config, w Workload, rates []float64) ([]SweepPoint, error) {
-	return parallel.Map(len(rates), func(i int) (SweepPoint, error) {
+	return parallel.MapScratch(len(rates), NewEngine, func(i int, eng *Engine) (SweepPoint, error) {
 		pc := cfg
 		pc.Seed = parallel.DeriveSeed(cfg.Seed, i)
 		pw := w
 		pw.RatePerSec = rates[i]
-		rep, err := Run(pc, pw)
+		rep, err := eng.Run(pc, pw)
 		if err != nil {
 			return SweepPoint{}, err
 		}

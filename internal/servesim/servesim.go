@@ -17,7 +17,6 @@
 package servesim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -160,27 +159,62 @@ type event struct {
 	req  *reqState
 }
 
-type eventHeap []*event
+// eventHeap is a slice-backed binary min-heap of event values ordered
+// by (at, seq): no interface boxing on push, no type assertion on pop,
+// no per-event allocation. seq is unique, so the order is strict and
+// total — the pop sequence (and therefore the whole simulation) is
+// identical to any other heap implementation over the same comparator.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
-// reqState tracks one request through the pipeline.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(&s[i], &s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop the req pointer so the arena can be collected
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && eventLess(&s[l], &s[smallest]) {
+			smallest = l
+		}
+		if r < n && eventLess(&s[r], &s[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+}
+
+// reqState tracks one request through the pipeline. States live in an
+// engine-owned arena, fully re-initialized per run.
 type reqState struct {
 	Request
 	// generated counts emitted tokens (the prefill-produced first
@@ -197,6 +231,10 @@ type reqState struct {
 	firstToken units.Seconds
 	done       units.Seconds
 	admitSeq   int // admission order on the decode instance (preemption priority)
+	// preemptMark carries the engine's step generation when this request
+	// was chosen as a preemption victim — the allocation-free stand-in
+	// for the per-step victim set.
+	preemptMark int
 }
 
 func (r *reqState) remaining() int { return r.OutputTokens - r.generated }
@@ -210,8 +248,8 @@ type prefillUnit struct {
 // decodeUnit is one decode (or colocated) instance.
 type decodeUnit struct {
 	active   []*reqState
-	pending  []*reqState // landed, waiting for batch slot + KV pages
-	kv       *kvPool
+	pending  fifo // landed, waiting for batch slot + KV pages
+	kv       kvPool
 	stepping bool
 	// colocated bookkeeping
 	prefilling   bool
@@ -219,16 +257,79 @@ type decodeUnit struct {
 	admitCounter int
 }
 
-type engine struct {
-	cfg  Config
-	rng  *rand.Rand
-	now  units.Seconds
-	seq  int
-	heap eventHeap
+// reset re-initializes the unit for a new run, keeping the batch-queue
+// buffers.
+func (d *decodeUnit) reset(kv kvPool) {
+	clearPtrs(d.active)
+	d.active = d.active[:0]
+	d.pending.reset()
+	d.kv = kv
+	d.stepping = false
+	d.prefilling = false
+	d.sincePrefill = 0
+	d.admitCounter = 0
+}
 
-	prefillQ []*reqState
-	prefills []*prefillUnit // empty when colocated
-	decodes  []*decodeUnit
+func clearPtrs(rs []*reqState) {
+	for i := range rs {
+		rs[i] = nil
+	}
+}
+
+// fifo is a head-indexed FIFO of request states. Unlike the q = q[1:]
+// re-slicing idiom, popping never sheds backing-array capacity: the
+// buffer rewinds to its start whenever the queue drains, so a steady-
+// state run enqueues and dequeues thousands of times with zero
+// allocations.
+type fifo struct {
+	buf  []*reqState
+	head int
+}
+
+func (f *fifo) push(r *reqState) { f.buf = append(f.buf, r) }
+
+func (f *fifo) pop() *reqState {
+	r := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return r
+}
+
+func (f *fifo) peek() *reqState { return f.buf[f.head] }
+
+func (f *fifo) len() int { return len(f.buf) - f.head }
+
+func (f *fifo) reset() {
+	clearPtrs(f.buf)
+	f.buf = f.buf[:0]
+	f.head = 0
+}
+
+// Engine is a reusable serving-simulation engine: the event heap, the
+// request-state arena, the per-instance queues and every metrics buffer
+// are owned by the Engine and recycled across Run calls, so sweeps and
+// capacity searches that run hundreds of simulations allocate only the
+// Reports they return. An Engine is not safe for concurrent use — fan
+// sweeps out with one Engine per worker (parallel.MapScratch). Every
+// run fully re-initializes the recycled state, so a reused Engine's
+// reports are byte-identical to a fresh one's.
+type Engine struct {
+	cfg    Config
+	rng    *rand.Rand
+	reseed func(int64)
+	now    units.Seconds
+	seq    int
+	heap   eventHeap
+
+	reqs     []Request  // generated workload scratch
+	arena    []reqState // one entry per request, pointer-stable within a run
+	prefillQ fifo
+	prefills []prefillUnit // empty when colocated
+	decodes  []decodeUnit
 
 	// One router instance per decision point, so per-policy state
 	// (round-robin cursors, the p2c stream) never couples prefill
@@ -238,6 +339,8 @@ type engine struct {
 	loads         []InstanceLoad // candidate scratch, reused per decision
 
 	mtpFactor float64
+	lc        latConsts // per-run latency constants (see LatencyModel.consts)
+	markGen   int       // preemption-victim generation (see reqState.preemptMark)
 
 	// metrics accumulation
 	completed  []*reqState
@@ -249,29 +352,55 @@ type engine struct {
 	samples    []TimelinePoint
 	nextSample units.Seconds
 	sampleStep units.Seconds
+
+	ttft, tpot, e2e []float64 // report percentile scratch
+}
+
+// NewEngine returns an empty engine; buffers grow to the largest run it
+// executes.
+func NewEngine() *Engine {
+	e := &Engine{}
+	e.rng, e.reseed = parallel.NewReseedable(0)
+	return e
 }
 
 // Run simulates the workload on the cluster and reports request-level
-// latency, goodput, and occupancy metrics.
+// latency, goodput, and occupancy metrics. Equivalent to calling Run on
+// a fresh Engine — reuse recycles buffers, never state.
 func Run(cfg Config, w Workload) (*Report, error) {
+	return NewEngine().Run(cfg, w)
+}
+
+// Run simulates the workload, reusing the engine's buffers.
+func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 	if cfg.ColocatedStride <= 0 {
 		cfg.ColocatedStride = 4
 	}
 	if err := cfg.Validate(w); err != nil {
 		return nil, err
 	}
-	reqs := w.Generate(parallel.DeriveSeed(cfg.Seed, 0))
+	e.reqs = w.generateInto(parallel.DeriveSeed(cfg.Seed, 0), e.reqs)
+	reqs := e.reqs
 
 	// Seed-stream layout: 0 workload, 1 engine (MTP acceptance), 2/3
 	// the routing streams. Routing draws never touch the engine stream,
 	// so switching policies cannot perturb speculative decoding.
-	e := &engine{
-		cfg:           cfg,
-		rng:           parallel.NewRand(parallel.DeriveSeed(cfg.Seed, 1)),
-		prefillRouter: NewRouter(cfg.Router, parallel.DeriveSeed(cfg.Seed, 2)),
-		decodeRouter:  NewRouter(cfg.Router, parallel.DeriveSeed(cfg.Seed, 3)),
-		mtpFactor:     1,
-	}
+	e.cfg = cfg
+	e.reseed(parallel.DeriveSeed(cfg.Seed, 1))
+	e.prefillRouter = NewRouter(cfg.Router, parallel.DeriveSeed(cfg.Seed, 2))
+	e.decodeRouter = NewRouter(cfg.Router, parallel.DeriveSeed(cfg.Seed, 3))
+	e.lc = cfg.Latency.consts()
+	e.now = 0
+	e.seq = 0
+	e.heap = e.heap[:0]
+	e.mtpFactor = 1
+	e.markGen = 0
+	e.prefillQ.reset()
+	clearPtrs(e.completed)
+	e.completed = e.completed[:0]
+	e.preempts, e.steps, e.stepBatch, e.stepTokens = 0, 0, 0, 0
+	e.peakOcc = 0
+	e.samples = e.samples[:0]
 	if cfg.MTP != nil {
 		e.mtpFactor = cfg.MTP.StepCost()
 	}
@@ -280,11 +409,22 @@ func Run(cfg Config, w Workload) (*Report, error) {
 		nDecode = cfg.PrefillInstances + cfg.DecodeInstances
 		nPrefill = 0
 	}
-	for i := 0; i < nPrefill; i++ {
-		e.prefills = append(e.prefills, &prefillUnit{})
+	if cap(e.prefills) < nPrefill {
+		e.prefills = make([]prefillUnit, nPrefill)
 	}
-	for i := 0; i < nDecode; i++ {
-		e.decodes = append(e.decodes, &decodeUnit{kv: newKVPool(cfg.KV, cfg.Latency.Model)})
+	e.prefills = e.prefills[:nPrefill]
+	for i := range e.prefills {
+		e.prefills[i] = prefillUnit{}
+	}
+	if cap(e.decodes) < nDecode {
+		next := make([]decodeUnit, nDecode)
+		copy(next, e.decodes[:cap(e.decodes)])
+		e.decodes = next
+	}
+	e.decodes = e.decodes[:nDecode]
+	kv := kvPool{cfg: cfg.KV, total: cfg.KV.TotalPages(cfg.Latency.Model)}
+	for i := range e.decodes {
+		e.decodes[i].reset(kv)
 	}
 
 	// Sample the batch/occupancy timeline on a horizon estimated from
@@ -297,22 +437,26 @@ func Run(cfg Config, w Workload) (*Report, error) {
 	}
 	e.nextSample = e.sampleStep
 
-	for i := range reqs {
-		rs := &reqState{Request: reqs[i]}
-		e.schedule(rs.Arrival, evArrival, 0, rs)
+	if cap(e.arena) < len(reqs) {
+		e.arena = make([]reqState, len(reqs))
 	}
-	for e.heap.Len() > 0 {
-		ev := heap.Pop(&e.heap).(*event)
+	e.arena = e.arena[:len(reqs)]
+	for i := range reqs {
+		e.arena[i] = reqState{Request: reqs[i]}
+		e.schedule(reqs[i].Arrival, evArrival, 0, &e.arena[i])
+	}
+	for len(e.heap) > 0 {
+		ev := e.heap.pop()
 		e.now = ev.at
 		e.sampleUpTo(e.now)
 		switch ev.kind {
 		case evArrival:
-			e.prefillQ = append(e.prefillQ, ev.req)
+			e.prefillQ.push(ev.req)
 		case evPrefillDone:
-			e.prefillDone(ev)
+			e.prefillDone(&ev)
 		case evDecodeLand:
-			d := e.decodes[ev.inst]
-			d.pending = append(d.pending, ev.req)
+			d := &e.decodes[ev.inst]
+			d.pending.push(ev.req)
 			if !d.stepping && !d.prefilling {
 				e.startStep(ev.inst)
 			}
@@ -330,9 +474,9 @@ func Run(cfg Config, w Workload) (*Report, error) {
 	return e.report(), nil
 }
 
-func (e *engine) schedule(at units.Seconds, kind eventKind, inst int, req *reqState) {
+func (e *Engine) schedule(at units.Seconds, kind eventKind, inst int, req *reqState) {
 	e.seq++
-	heap.Push(&e.heap, &event{at: at, seq: e.seq, kind: kind, inst: inst, req: req})
+	e.heap.push(event{at: at, seq: e.seq, kind: kind, inst: inst, req: req})
 }
 
 // dispatch hands queued prefill work to idle capacity. It runs after
@@ -341,32 +485,31 @@ func (e *engine) schedule(at units.Seconds, kind eventKind, inst int, req *reqSt
 // the prefill router over the idle candidate set; colocated instances
 // pull from the shared queue themselves (startStep), so only the fixed
 // scan order applies there. Every path is deterministic.
-func (e *engine) dispatch() {
+func (e *Engine) dispatch() {
 	if e.cfg.Colocated {
-		for i, d := range e.decodes {
-			if len(e.prefillQ) == 0 {
+		for i := range e.decodes {
+			if e.prefillQ.len() == 0 {
 				return
 			}
-			if !d.stepping && !d.prefilling {
+			if d := &e.decodes[i]; !d.stepping && !d.prefilling {
 				e.startStep(i)
 			}
 		}
 		return
 	}
 	idle := e.loads[:0]
-	for i, p := range e.prefills {
-		if !p.busy {
+	for i := range e.prefills {
+		if !e.prefills[i].busy {
 			idle = append(idle, InstanceLoad{Instance: i})
 		}
 	}
-	for len(e.prefillQ) > 0 && len(idle) > 0 {
+	for e.prefillQ.len() > 0 && len(idle) > 0 {
 		k := e.prefillRouter.Pick(idle)
 		inst := idle[k].Instance
 		idle = append(idle[:k], idle[k+1:]...)
-		req := e.prefillQ[0]
-		e.prefillQ = e.prefillQ[1:]
+		req := e.prefillQ.pop()
 		e.prefills[inst].busy = true
-		e.schedule(e.now+e.cfg.Latency.PrefillTime(req.ctxForPrefill()), evPrefillDone, inst, req)
+		e.schedule(e.now+e.cfg.Latency.prefillTime(e.lc, req.ctxForPrefill()), evPrefillDone, inst, req)
 	}
 	e.loads = idle[:0]
 }
@@ -380,7 +523,7 @@ func (r *reqState) ctxForPrefill() int {
 // prefillDone completes a prefill: the request's first token is
 // emitted here (prefill computes the logits of token one), then the
 // KV moves to a decode instance.
-func (e *engine) prefillDone(ev *event) {
+func (e *Engine) prefillDone(ev *event) {
 	req := ev.req
 	if e.cfg.Colocated {
 		e.colocatedPrefillDone(ev.inst, req)
@@ -395,10 +538,11 @@ func (e *engine) prefillDone(ev *event) {
 	// Route to a decode instance via the configured policy (least-KV
 	// by default), after the KV migration delay.
 	loads := e.loads[:0]
-	for i, d := range e.decodes {
+	for i := range e.decodes {
+		d := &e.decodes[i]
 		loads = append(loads, InstanceLoad{
 			Instance: i,
-			Queue:    len(d.pending) + len(d.active),
+			Queue:    d.pending.len() + len(d.active),
 			FreeKV:   d.kv.free(),
 		})
 	}
@@ -406,12 +550,12 @@ func (e *engine) prefillDone(ev *event) {
 	e.loads = loads[:0]
 	var transfer units.Seconds
 	if e.cfg.TransferBW > 0 {
-		transfer = e.cfg.Latency.KVBytesForContext(req.ctx) / e.cfg.TransferBW
+		transfer = e.cfg.Latency.kvBytesForContext(e.lc, req.ctx) / e.cfg.TransferBW
 	}
 	e.schedule(e.now+transfer, evDecodeLand, best, req)
 }
 
-func (e *engine) emitFirstToken(req *reqState) {
+func (e *Engine) emitFirstToken(req *reqState) {
 	req.ctx = req.ctxForPrefill()
 	if !req.resumed {
 		req.firstToken = e.now
@@ -420,7 +564,7 @@ func (e *engine) emitFirstToken(req *reqState) {
 	}
 }
 
-func (e *engine) complete(req *reqState) {
+func (e *Engine) complete(req *reqState) {
 	req.done = e.now
 	e.completed = append(e.completed, req)
 }
@@ -428,12 +572,12 @@ func (e *engine) complete(req *reqState) {
 // startStep begins the next unit of work on a decode instance: for a
 // colocated instance possibly a stall-the-world prefill, otherwise
 // admission plus one continuous-batching decode step.
-func (e *engine) startStep(inst int) {
-	d := e.decodes[inst]
+func (e *Engine) startStep(inst int) {
+	d := &e.decodes[inst]
 
-	if e.cfg.Colocated && len(e.prefillQ) > 0 && len(d.active) < e.cfg.MaxBatch &&
+	if e.cfg.Colocated && e.prefillQ.len() > 0 && len(d.active) < e.cfg.MaxBatch &&
 		(len(d.active) == 0 || d.sincePrefill >= e.cfg.ColocatedStride) {
-		req := e.prefillQ[0]
+		req := e.prefillQ.peek()
 		// A colocated request decodes in place, so reserve its full
 		// final context up front (conservative policy: a stall-the-
 		// world prefill must never later become an unpreemptable
@@ -441,11 +585,11 @@ func (e *engine) startStep(inst int) {
 		// completions to free pages.
 		pages := e.cfg.KV.PagesFor(req.PromptTokens + req.OutputTokens)
 		if d.kv.tryAlloc(pages) {
-			e.prefillQ = e.prefillQ[1:]
+			e.prefillQ.pop()
 			req.pages = pages
 			d.prefilling = true
 			e.notePeakOcc()
-			e.schedule(e.now+e.cfg.Latency.PrefillTime(req.ctxForPrefill()), evPrefillDone, inst, req)
+			e.schedule(e.now+e.cfg.Latency.prefillTime(e.lc, req.ctxForPrefill()), evPrefillDone, inst, req)
 			return
 		}
 	}
@@ -457,8 +601,8 @@ func (e *engine) startStep(inst int) {
 	// (colocatedPrefillDone), so d.pending is never populated under
 	// Colocated.
 	if !e.cfg.Colocated {
-		for len(d.active) < e.cfg.MaxBatch && len(d.pending) > 0 {
-			req := d.pending[0]
+		for len(d.active) < e.cfg.MaxBatch && d.pending.len() > 0 {
+			req := d.pending.peek()
 			pages := e.cfg.KV.PagesFor(req.ctx)
 			if !d.kv.tryAlloc(pages) {
 				break
@@ -466,7 +610,7 @@ func (e *engine) startStep(inst int) {
 			req.pages = pages
 			d.admitCounter++
 			req.admitSeq = d.admitCounter
-			d.pending = d.pending[1:]
+			d.pending.pop()
 			d.active = append(d.active, req)
 			e.notePeakOcc()
 		}
@@ -478,9 +622,9 @@ func (e *engine) startStep(inst int) {
 
 	var attn batchAttention
 	for _, req := range d.active {
-		e.cfg.Latency.addContext(&attn, req.ctx)
+		e.cfg.Latency.addContextC(e.lc, &attn, req.ctx)
 	}
-	dt := e.cfg.Latency.DecodeStepTime(len(d.active), attn) * e.mtpFactor
+	dt := e.cfg.Latency.decodeStepTime(e.lc, len(d.active), attn) * e.mtpFactor
 	d.stepping = true
 	d.sincePrefill++
 	e.steps++
@@ -491,8 +635,8 @@ func (e *engine) startStep(inst int) {
 // colocatedPrefillDone finishes a stall-the-world prefill on a
 // colocated instance: the request joins that instance's batch directly
 // (its KV pages were reserved at prefill start).
-func (e *engine) colocatedPrefillDone(inst int, req *reqState) {
-	d := e.decodes[inst]
+func (e *Engine) colocatedPrefillDone(inst int, req *reqState) {
+	d := &e.decodes[inst]
 	d.prefilling = false
 	d.sincePrefill = 0
 	e.emitFirstToken(req)
@@ -513,8 +657,8 @@ func (e *engine) colocatedPrefillDone(inst int, req *reqState) {
 // growth with preemption on pool exhaustion. Finished requests release
 // their pages before anyone grows, so a request that just emitted its
 // last token can never be chosen as a preemption victim.
-func (e *engine) stepDone(inst int) error {
-	d := e.decodes[inst]
+func (e *Engine) stepDone(inst int) error {
+	d := &e.decodes[inst]
 	for _, req := range d.active {
 		emitted := 1
 		if c := e.cfg.MTP; c != nil {
@@ -548,18 +692,24 @@ func (e *engine) stepDone(inst int) error {
 	}
 	d.active = unfinished
 
-	preempted := make(map[*reqState]bool)
+	// Victim bookkeeping rides on a per-step generation mark instead of
+	// a freshly allocated set: a request is "preempted this step" iff
+	// its mark equals the current generation.
+	e.markGen++
+	gen := e.markGen
+	nPreempted := 0
 	for _, req := range d.active {
-		if preempted[req] {
+		if req.preemptMark == gen {
 			continue
 		}
 		if need := e.cfg.KV.PagesFor(req.ctx) - req.pages; need > 0 {
 			for !d.kv.tryAlloc(need) {
-				victim := e.pickVictim(d, req, preempted)
+				victim := e.pickVictim(d, req, gen)
 				if victim == nil {
 					return fmt.Errorf("servesim: KV exhausted with no preemption victim on instance %d", inst)
 				}
-				preempted[victim] = true
+				victim.preemptMark = gen
+				nPreempted++
 				d.kv.release(victim.pages)
 				victim.pages = 0
 			}
@@ -568,10 +718,10 @@ func (e *engine) stepDone(inst int) error {
 		}
 	}
 
-	if len(preempted) > 0 {
+	if nPreempted > 0 {
 		keep := d.active[:0]
 		for _, req := range d.active {
-			if preempted[req] {
+			if req.preemptMark == gen {
 				// Recompute-style preemption: pages are gone, the
 				// request re-prefills prompt + generated tokens, then
 				// resumes.
@@ -579,7 +729,7 @@ func (e *engine) stepDone(inst int) error {
 				req.preempted++
 				e.preempts++
 				req.ctx = req.ctxForPrefill()
-				e.prefillQ = append(e.prefillQ, req)
+				e.prefillQ.push(req)
 			} else {
 				keep = append(keep, req)
 			}
@@ -594,13 +744,13 @@ func (e *engine) stepDone(inst int) error {
 }
 
 // pickVictim selects the latest-admitted unfinished active request
-// other than the growing one (and not already preempted this step) —
-// the vLLM recompute policy: evict the newest work, keep the oldest
-// streams running.
-func (e *engine) pickVictim(d *decodeUnit, grower *reqState, preempted map[*reqState]bool) *reqState {
+// other than the growing one (and not already preempted this step,
+// i.e. not carrying the current generation mark) — the vLLM recompute
+// policy: evict the newest work, keep the oldest streams running.
+func (e *Engine) pickVictim(d *decodeUnit, grower *reqState, gen int) *reqState {
 	var victim *reqState
 	for _, req := range d.active {
-		if req == grower || preempted[req] || req.pages == 0 {
+		if req == grower || req.preemptMark == gen || req.pages == 0 {
 			continue
 		}
 		if victim == nil || req.admitSeq > victim.admitSeq {
@@ -610,11 +760,11 @@ func (e *engine) pickVictim(d *decodeUnit, grower *reqState, preempted map[*reqS
 	return victim
 }
 
-func (e *engine) notePeakOcc() {
+func (e *Engine) notePeakOcc() {
 	var used, total int
-	for _, d := range e.decodes {
-		used += d.kv.used
-		total += d.kv.total
+	for i := range e.decodes {
+		used += e.decodes[i].kv.used
+		total += e.decodes[i].kv.total
 	}
 	if total == 0 {
 		return
@@ -635,7 +785,7 @@ func (e *engine) notePeakOcc() {
 // and biases MeanKVOccupancy toward the warm-up window, while
 // decimation keeps the samples spanning the whole makespan at a coarser
 // (still uniform) grid.
-func (e *engine) sampleUpTo(t units.Seconds) {
+func (e *Engine) sampleUpTo(t units.Seconds) {
 	for e.nextSample <= t {
 		if len(e.samples) >= 4*timelineSamples {
 			keep := len(e.samples) / 2
@@ -649,7 +799,8 @@ func (e *engine) sampleUpTo(t units.Seconds) {
 		}
 		var batch int
 		var used, total int
-		for _, d := range e.decodes {
+		for i := range e.decodes {
+			d := &e.decodes[i]
 			batch += len(d.active)
 			used += d.kv.used
 			total += d.kv.total

@@ -234,8 +234,16 @@ func (w Workload) maxContextTokens() int {
 // same traffic; traces are returned as a sorted copy with IDs
 // renumbered in arrival order.
 func (w Workload) Generate(seed int64) []Request {
+	return w.generateInto(seed, nil)
+}
+
+// generateInto is Generate into a reusable buffer (contents are fully
+// overwritten; grown only when capacity falls short). The engine feeds
+// its own scratch through here so steady-state runs allocate no request
+// slice.
+func (w Workload) generateInto(seed int64, buf []Request) []Request {
 	if w.Arrival == ArrivalTrace {
-		out := append([]Request(nil), w.Trace...)
+		out := append(buf[:0], w.Trace...)
 		sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
 		for i := range out {
 			out[i].ID = i
@@ -244,16 +252,19 @@ func (w Workload) Generate(seed int64) []Request {
 	}
 	rng := parallel.NewRand(seed)
 	step := w.arrivalStepper(rng)
-	out := make([]Request, w.Requests)
+	out := buf[:0]
+	if cap(out) < w.Requests {
+		out = make([]Request, 0, w.Requests)
+	}
 	var t units.Seconds
-	for i := range out {
+	for i := 0; i < w.Requests; i++ {
 		t = step(t)
-		out[i] = Request{
+		out = append(out, Request{
 			ID:           i,
 			Arrival:      t,
 			PromptTokens: w.Prompt.Sample(rng),
 			OutputTokens: w.Output.Sample(rng),
-		}
+		})
 	}
 	return out
 }

@@ -1,0 +1,41 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSummarizeSortingMatchesSummarize: the in-place variant must be
+// field-for-field bit-identical to Summarize (the report path depends
+// on it), and must leave the slice sorted.
+func TestSummarizeSortingMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	samples := [][]float64{
+		nil,
+		{},
+		{1},
+		{2, 1},
+		{3, 1, 2, 2},
+	}
+	for i := 0; i < 50; i++ {
+		xs := make([]float64, 1+rng.Intn(200))
+		for j := range xs {
+			xs[j] = rng.NormFloat64() * 100
+		}
+		samples = append(samples, xs)
+	}
+	for i, xs := range samples {
+		want := Summarize(xs) // copies; xs untouched
+		mut := append([]float64(nil), xs...)
+		got := SummarizeSorting(mut)
+		if got != want {
+			// Summary is all comparable fields; bitwise check for NaN-free data.
+			t.Fatalf("sample %d: %+v != %+v", i, got, want)
+		}
+		for j := 1; j < len(mut); j++ {
+			if mut[j-1] > mut[j] {
+				t.Fatalf("sample %d: slice not sorted at %d", i, j)
+			}
+		}
+	}
+}

@@ -27,8 +27,19 @@ type Summary struct {
 }
 
 // Summarize computes a Summary over xs. It returns a zero Summary for an
-// empty sample.
+// empty sample; xs is left untouched (the quantile sort happens on a
+// copy).
 func Summarize(xs []float64) Summary {
+	return SummarizeSorting(append([]float64(nil), xs...))
+}
+
+// SummarizeSorting is Summarize without the defensive copy: the
+// order-sensitive moments (sum, variance) are computed over xs as
+// given, then xs itself is sorted in place for the quantile fields.
+// The result is bit-identical to Summarize; the caller's slice is
+// reordered. Report builders that own their sample scratch use this to
+// keep percentile assembly allocation-free.
+func SummarizeSorting(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
@@ -46,17 +57,16 @@ func Summarize(xs []float64) Summary {
 		ss += d * d
 	}
 	s.Std = math.Sqrt(ss / float64(len(xs)))
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	mid := len(sorted) / 2
-	if len(sorted)%2 == 1 {
-		s.Median = sorted[mid]
+	sort.Float64s(xs)
+	mid := len(xs) / 2
+	if len(xs)%2 == 1 {
+		s.Median = xs[mid]
 	} else {
-		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+		s.Median = (xs[mid-1] + xs[mid]) / 2
 	}
 	s.P50 = s.Median // percentileSorted(sorted, 50) reduces to the median for every n
-	s.P95 = percentileSorted(sorted, 95)
-	s.P99 = percentileSorted(sorted, 99)
+	s.P95 = percentileSorted(xs, 95)
+	s.P99 = percentileSorted(xs, 99)
 	return s
 }
 

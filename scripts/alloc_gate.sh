@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Allocation-regression smoke: run the allocation-sensitive benchmarks
+# once (-benchtime=1x -benchmem) and fail if any reports more
+# allocs/op than its pinned budget. ns/op at 1x is meaningless noise —
+# only the allocation counts are checked, and those are deterministic,
+# so this gate is cheap enough for every CI run.
+#
+# Budgets (see DESIGN.md "Performance engineering"):
+#   BenchmarkGateRoute     0  — MoE routing hot path, fully scratch-backed
+#   BenchmarkE4M3Quantize  0  — FP8 quantization kernel, in-place
+#   BenchmarkServeEngine   8  — one serving run on a warm engine:
+#                               the Report + its Timeline copy + the
+#                               workload RNG/stepper closures
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+budgets="
+BenchmarkGateRoute 0
+BenchmarkE4M3Quantize 0
+BenchmarkServeEngine 8
+"
+
+pattern="$(awk 'NF { printf "%s%s", sep, $1; sep = "|" }' <<<"$budgets")"
+out="$(go test -run=NONE -bench="^(${pattern})\$" -benchmem -benchtime=1x .)"
+echo "$out"
+
+status=0
+while read -r name budget; do
+  [ -z "$name" ] && continue
+  allocs="$(awk -v n="$name" '$1 ~ "^"n"(-[0-9]+)?$" {
+    for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
+  }' <<<"$out")"
+  if [ -z "$allocs" ]; then
+    echo "FAIL: $name did not run (pattern or -benchmem problem)" >&2
+    status=1
+    continue
+  fi
+  if [ "$allocs" -gt "$budget" ]; then
+    echo "FAIL: $name reports $allocs allocs/op, budget is $budget" >&2
+    status=1
+  else
+    echo "OK: $name $allocs allocs/op (budget $budget)"
+  fi
+done <<<"$budgets"
+
+exit "$status"

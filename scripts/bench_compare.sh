@@ -56,9 +56,27 @@ if ! awk -v c="$cur_wall" -v b="$base_wall" -v m="$max_suite" \
   status=1
 fi
 
-# Join the two benchmark lists by name; benchmarks present in only one
-# snapshot are reported but not gated (added/removed benchmarks are
-# expected as the suite grows).
+# Join the two benchmark lists by name and gate only on the
+# intersection. Benchmarks present in just one snapshot are listed
+# explicitly as added/removed — never silently skipped, never gated —
+# so a growing suite cannot break the nightly gate and a vanished
+# benchmark cannot hide a regression unnoticed.
+cur_names="$(nsops "$current" | awk '{print $1}')"
+base_names="$(nsops "$baseline" | awk '{print $1}')"
+
+added="$(comm -23 <(sort <<<"$cur_names") <(sort <<<"$base_names"))"
+removed="$(comm -13 <(sort <<<"$cur_names") <(sort <<<"$base_names"))"
+if [ -n "$added" ]; then
+  echo
+  echo "benchmarks added since baseline (reported, not gated):"
+  sed 's/^/  + /' <<<"$added"
+fi
+if [ -n "$removed" ]; then
+  echo
+  echo "benchmarks removed since baseline (reported, not gated):"
+  sed 's/^/  - /' <<<"$removed"
+fi
+
 echo
 printf '%-40s %14s %14s %8s\n' benchmark current_ns baseline_ns ratio
 while read -r name cur_ns; do
