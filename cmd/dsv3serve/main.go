@@ -23,6 +23,13 @@
 //	dsv3serve -colocate -stride 32         # colocated continuous batching
 //	dsv3serve -mtp 0.85                    # MTP speculative decoding
 //	dsv3serve -trace requests.csv          # replay arrival,prompt,output lines
+//	dsv3serve -fail crash@6:d1,recover@14:d1
+//	                                       # scheduled instance faults
+//	                                       #   (kind@seconds:target, target dN/pN)
+//	dsv3serve -mtbf 30 -mttr 5             # random crashes (mean secs between
+//	                                       #   failures / to repair)
+//	dsv3serve -retries 3                   # retry budget for orphaned requests
+//	dsv3serve -admission queue=24,kv=0.85  # shed arrivals past these bounds
 //	dsv3serve -format json                 # structured output
 //	dsv3serve -timeline                    # batch/KV-occupancy timeline table
 package main
@@ -56,6 +63,11 @@ func main() {
 	maxBatch := flag.Int("batch", 64, "max decode batch per instance")
 	kvGB := flag.Float64("kv", 64, "KV cache capacity per instance (GB)")
 	mtpAccept := flag.Float64("mtp", 0, "MTP draft acceptance rate (0 disables speculation)")
+	failSpec := flag.String("fail", "", "scheduled faults: kind@seconds:target list (e.g. crash@6:d1,recover@14:d1; kinds crash/recover/drain, targets dN/pN)")
+	mtbf := flag.Float64("mtbf", 0, "mean seconds between random instance crashes (0 disables)")
+	mttr := flag.Float64("mttr", 0, "mean seconds to repair an MTBF crash (0 leaves instances down)")
+	retries := flag.Int("retries", 0, "retry budget for requests orphaned by a crash (exponential backoff)")
+	admissionSpec := flag.String("admission", "", "admission policy: queue=N and/or kv=F (e.g. queue=24,kv=0.85); empty admits everything")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	timeline := flag.Bool("timeline", false, "include the batch/KV-occupancy timeline table")
 	formatName := flag.String("format", "text", "output format: text, json, or csv")
@@ -86,6 +98,28 @@ func main() {
 		spec.Acceptance = *mtpAccept
 		cfg.MTP = &spec
 	}
+	if *failSpec != "" || *mtbf > 0 {
+		var events []dsv3.ServeFaultEvent
+		if *failSpec != "" {
+			events, err = dsv3.ParseServeFaultEvents(*failSpec)
+			if err != nil {
+				fail(err)
+			}
+		}
+		cfg.Faults = &dsv3.ServeFaultPlan{Events: events, MTBF: *mtbf, MTTR: *mttr}
+	}
+	if *retries > 0 {
+		cfg.Retry = dsv3.DefaultServeRetryPolicy()
+		cfg.Retry.MaxRetries = *retries
+	}
+	if *admissionSpec != "" {
+		adm, err := dsv3.ParseServeAdmissionPolicy(*admissionSpec)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Admission = adm
+	}
+	faulty := cfg.Faults != nil || *admissionSpec != "" || *retries > 0
 
 	w := dsv3.ServeWorkload{
 		Arrival:  dsv3.ArrivalPoisson,
@@ -148,7 +182,7 @@ func main() {
 		}
 	}
 
-	res := buildResult(pts, *tracePath != "", *timeline, *seed)
+	res := buildResult(pts, *tracePath != "", *timeline, faulty, *seed)
 	if !*deterministic {
 		res.Meta.WallTime = time.Since(start)
 	}
@@ -261,8 +295,9 @@ func buildCapacityResult(res *dsv3.ServeCapacityResult, target float64, seed int
 }
 
 // buildResult packs the sweep into the shared results model so every
-// emitter (text/json/csv) works unchanged.
-func buildResult(pts []dsv3.ServeSweepPoint, traced, timeline bool, seed int64) *dsv3.ExperimentResult {
+// emitter (text/json/csv) works unchanged. With faults or admission
+// configured it appends failure-mode and incident tables.
+func buildResult(pts []dsv3.ServeSweepPoint, traced, timeline, faulty bool, seed int64) *dsv3.ExperimentResult {
 	t := dsv3.NewExperimentTable("Serving simulation",
 		dsv3.ExperimentColumn{Name: "Rate", Unit: "req/s"},
 		dsv3.ExperimentColumn{Name: "Completed"},
@@ -276,6 +311,7 @@ func buildResult(pts []dsv3.ServeSweepPoint, traced, timeline bool, seed int64) 
 		dsv3.ExperimentColumn{Name: "Batch"},
 		dsv3.ExperimentColumn{Name: "KV peak", Unit: "%"},
 		dsv3.ExperimentColumn{Name: "Preempt"},
+		dsv3.ExperimentColumn{Name: "Dropped"},
 	)
 	for _, p := range pts {
 		r := p.Report
@@ -290,9 +326,12 @@ func buildResult(pts []dsv3.ServeSweepPoint, traced, timeline bool, seed int64) 
 			dsv3.FloatCell("%.2f", r.E2E.P99),
 			dsv3.FloatCell("%.2f", r.GoodputRPS), dsv3.FloatCell("%.1f%%", r.SLOAttainment*100),
 			dsv3.FloatCell("%.1f", r.MeanBatch), dsv3.FloatCell("%.1f%%", r.PeakKVOccupancy*100),
-			dsv3.IntCell(r.Preemptions))
+			dsv3.IntCell(r.Preemptions), dsv3.IntCell(r.DroppedSamples))
 	}
 	tables := []*dsv3.ExperimentTable{t}
+	if faulty {
+		tables = append(tables, buildFailureTables(pts, traced)...)
+	}
 	if timeline {
 		for i, p := range pts {
 			title := fmt.Sprintf("Timeline: point %d", i+1)
@@ -313,4 +352,64 @@ func buildResult(pts []dsv3.ServeSweepPoint, traced, timeline bool, seed int64) 
 	res := dsv3.NewExperimentResult("dsv3serve", "request-level serving simulation", tables...)
 	res.Meta.Seed = seed
 	return res
+}
+
+// buildFailureTables packs the failure-mode metrics and the per-crash
+// incident log for runs with faults, retries or admission configured.
+func buildFailureTables(pts []dsv3.ServeSweepPoint, traced bool) []*dsv3.ExperimentTable {
+	fm := dsv3.NewExperimentTable("Failure modes",
+		dsv3.ExperimentColumn{Name: "Rate", Unit: "req/s"},
+		dsv3.ExperimentColumn{Name: "Offered"},
+		dsv3.ExperimentColumn{Name: "Failed"},
+		dsv3.ExperimentColumn{Name: "Shed"},
+		dsv3.ExperimentColumn{Name: "Affected"},
+		dsv3.ExperimentColumn{Name: "Retried"},
+		dsv3.ExperimentColumn{Name: "Retry amp"},
+		dsv3.ExperimentColumn{Name: "KV lost", Unit: "tok"},
+		dsv3.ExperimentColumn{Name: "SLO healthy", Unit: "%"},
+		dsv3.ExperimentColumn{Name: "SLO faulted", Unit: "%"},
+	)
+	var incidents int
+	for _, p := range pts {
+		r := p.Report
+		rate := dsv3.FloatCell("%.1f", p.RatePerSec)
+		if traced {
+			rate = dsv3.FloatCell("%.2f", r.OfferedRate)
+		}
+		fm.Row(rate, dsv3.IntCell(r.Requests),
+			dsv3.IntCell(r.Failed), dsv3.IntCell(r.Shed),
+			dsv3.IntCell(r.AffectedRequests), dsv3.IntCell(r.Retried),
+			dsv3.FloatCell("%.3f", r.RetryAmplification), dsv3.IntCell(r.KVTokensLost),
+			dsv3.FloatCell("%.1f%%", r.SLOHealthy*100), dsv3.FloatCell("%.1f%%", r.SLOFaulted*100))
+		incidents += len(r.Incidents)
+	}
+	tables := []*dsv3.ExperimentTable{fm}
+	if incidents > 0 {
+		inc := dsv3.NewExperimentTable("Incidents",
+			dsv3.ExperimentColumn{Name: "Rate", Unit: "req/s"},
+			dsv3.ExperimentColumn{Name: "At", Unit: "s"},
+			dsv3.ExperimentColumn{Name: "Instance"},
+			dsv3.ExperimentColumn{Name: "Orphaned"},
+			dsv3.ExperimentColumn{Name: "KV lost", Unit: "tok"},
+			dsv3.ExperimentColumn{Name: "Recovery", Unit: "s"},
+		)
+		for _, p := range pts {
+			r := p.Report
+			rate := dsv3.FloatCell("%.1f", p.RatePerSec)
+			if traced {
+				rate = dsv3.FloatCell("%.2f", r.OfferedRate)
+			}
+			for _, in := range r.Incidents {
+				name := fmt.Sprintf("d%d", in.Instance)
+				if in.Prefill {
+					name = fmt.Sprintf("p%d", in.Instance)
+				}
+				inc.Row(rate, dsv3.FloatCell("%.2f", in.At), dsv3.StrCell(name),
+					dsv3.IntCell(in.Orphaned), dsv3.IntCell(in.KVTokensLost),
+					dsv3.FloatCell("%.2f", in.Recovery))
+			}
+		}
+		tables = append(tables, inc)
+	}
+	return tables
 }

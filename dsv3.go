@@ -294,6 +294,17 @@ type (
 	// (byte-identical to fresh construction). Not safe for concurrent
 	// use; sweeps thread one per worker.
 	ServeEngine = servesim.Engine
+	// Fault injection and graceful degradation (ServeConfig.Faults /
+	// .Retry / .Admission): a seeded crash/recover/drain schedule plus
+	// MTBF-style random injection, retry-with-backoff for orphaned
+	// requests, and queue-depth/KV-occupancy admission shedding.
+	// ServeIncident records each crash's blast radius in the report.
+	ServeFaultPlan       = servesim.FaultPlan
+	ServeFaultEvent      = servesim.FaultEvent
+	ServeFaultKind       = servesim.FaultKind
+	ServeRetryPolicy     = servesim.RetryPolicy
+	ServeAdmissionPolicy = servesim.AdmissionPolicy
+	ServeIncident        = servesim.Incident
 )
 
 const (
@@ -307,6 +318,10 @@ const (
 	RouteRoundRobin    = servesim.RouteRoundRobin
 	RoutePowerOfTwo    = servesim.RoutePowerOfTwo
 	RouteShortestQueue = servesim.RouteShortestQueue
+
+	FaultCrash   = servesim.FaultCrash
+	FaultRecover = servesim.FaultRecover
+	FaultDrain   = servesim.FaultDrain
 )
 
 var (
@@ -323,6 +338,9 @@ var (
 	ParseServeRouterPolicy      = servesim.ParseRouterPolicy
 	ServeRouterPolicies         = servesim.RouterPolicies
 	DefaultServeCapacityPlanner = servesim.DefaultCapacityPlanner
+	DefaultServeRetryPolicy     = servesim.DefaultRetryPolicy
+	ParseServeFaultEvents       = servesim.ParseFaultEvents
+	ParseServeAdmissionPolicy   = servesim.ParseAdmissionPolicy
 )
 
 // Training (Table 4).
@@ -428,4 +446,16 @@ var (
 	ServeCapacityStudyResult  = experiments.CapacityStudyResult
 	RenderServeRouters        = experiments.RenderRouterShootout
 	RenderServeCapacity       = experiments.RenderCapacityStudy
+)
+
+// Failure studies: the kill-an-instance incident replay per router and
+// the admission shedding shoot-out under diurnal overload
+// (serve-failure / serve-shed catalogue entries).
+var (
+	ServeFailureStudy       = experiments.FailureStudy
+	ServeShedStudy          = experiments.ShedStudy
+	ServeFailureStudyResult = experiments.FailureStudyResult
+	ServeShedStudyResult    = experiments.ShedStudyResult
+	RenderServeFailure      = experiments.RenderFailureStudy
+	RenderServeShed         = experiments.RenderShedStudy
 )

@@ -23,6 +23,8 @@ const (
 	SeedServeSpec     = 47
 	SeedServeRouter   = 53
 	SeedServeCapacity = 59
+	SeedServeFailure  = 61
+	SeedServeShed     = 67
 )
 
 // Options configure one catalogue runner invocation.
@@ -153,6 +155,10 @@ func Catalogue() []Runner {
 			func(o Options) (*results.Table, error) { return RouterShootoutResult(SeedServeRouter, o.Quick) }),
 		one("serve-capacity", "serving: SLO capacity knee vs fleet shape and router", SeedServeCapacity,
 			func(o Options) (*results.Table, error) { return CapacityStudyResult(SeedServeCapacity, o.Quick) }),
+		one("serve-failure", "serving: kill-an-instance incident replay per router", SeedServeFailure,
+			func(o Options) (*results.Table, error) { return FailureStudyResult(SeedServeFailure, o.Quick) }),
+		one("serve-shed", "serving: admission shedding under diurnal overload", SeedServeShed,
+			func(o Options) (*results.Table, error) { return ShedStudyResult(SeedServeShed, o.Quick) }),
 	}
 }
 

@@ -86,6 +86,8 @@ func TestParallelSerialParity(t *testing.T) {
 		{"serve-spec", func() (string, error) { return RenderSpeculativeServing(SeedServeSpec, true) }},
 		{"serve-router", func() (string, error) { return RenderRouterShootout(SeedServeRouter, true) }},
 		{"serve-capacity", func() (string, error) { return RenderCapacityStudy(SeedServeCapacity, true) }},
+		{"serve-failure", func() (string, error) { return RenderFailureStudy(SeedServeFailure, true) }},
+		{"serve-shed", func() (string, error) { return RenderShedStudy(SeedServeShed, true) }},
 		{"accum", func() (string, error) { return RenderAccumulationAblation(13) }},
 		{"logfmt", func() (string, error) { return RenderLogFMT(17) }},
 		{"nodelimit", func() (string, error) { return RenderNodeLimited(19) }},

@@ -1,0 +1,325 @@
+package servesim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dsv3/internal/units"
+)
+
+// FaultKind names one instance-level fault transition.
+type FaultKind int
+
+const (
+	// FaultCrash kills an instance: its in-flight prefill/decode work is
+	// orphaned, its KV pool is freed (the blast radius is reported in
+	// tokens and affected requests), and it is excluded from routing
+	// until a recover event.
+	FaultCrash FaultKind = iota
+	// FaultRecover returns a crashed or draining instance to service.
+	FaultRecover
+	// FaultDrain marks planned degradation: the instance finishes the
+	// work it already holds but is excluded from new routing decisions.
+	FaultDrain
+)
+
+// String implements fmt.Stringer with the CLI spellings.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultRecover:
+		return "recover"
+	case FaultDrain:
+		return "drain"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// FaultEvent is one scheduled fault: at time At, apply Kind to the
+// Instance-th prefill (Prefill true) or decode/colocated instance.
+type FaultEvent struct {
+	At       units.Seconds
+	Kind     FaultKind
+	Prefill  bool
+	Instance int
+}
+
+// FaultPlan drives deterministic failure injection: a fixed schedule of
+// crash/recover/drain events plus optional MTBF-style random crashes.
+// All randomness (crash times, instance picks, recovery delays) comes
+// from a dedicated seed stream derived from Config.Seed, so a faulted
+// run is as reproducible as a clean one and the workload, MTP and
+// routing streams are untouched by the plan.
+type FaultPlan struct {
+	// Events is the scheduled fault script, applied in (time, order)
+	// sequence. Events need not be sorted.
+	Events []FaultEvent
+
+	// MTBF is the fleet-wide mean time between random instance crashes
+	// (exponential gaps; each crash picks a uniform random instance).
+	// 0 disables random injection.
+	MTBF units.Seconds
+	// MTTR is the mean time to repair an MTBF-crashed instance
+	// (exponential); 0 leaves random-crashed instances down for the
+	// rest of the run. Scheduled FaultCrash events are not auto-repaired
+	// — pair them with explicit FaultRecover events.
+	MTTR units.Seconds
+
+	// RecoveryWindow is the goodput averaging window of the per-incident
+	// recovery-time metric (default 5 s): an incident has recovered at
+	// the first instant the within-SLO completion rate over the next
+	// window reaches RecoveryBand x its pre-crash level.
+	RecoveryWindow units.Seconds
+	// RecoveryBand is the recovered fraction of pre-crash goodput in
+	// (0, 1] (default 0.8).
+	RecoveryBand float64
+}
+
+// validate checks the plan against the cluster shape resolved from the
+// configuration (colocated fleets have no separate prefill targets).
+func (p *FaultPlan) validate(nPrefill, nDecode int, colocated bool) error {
+	for i, ev := range p.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("servesim: fault event %d at negative time %v", i, ev.At)
+		}
+		if ev.Kind < FaultCrash || ev.Kind > FaultDrain {
+			return fmt.Errorf("servesim: fault event %d has unknown kind %d", i, int(ev.Kind))
+		}
+		if ev.Prefill {
+			if colocated {
+				return fmt.Errorf("servesim: fault event %d targets a prefill instance but the cluster is colocated", i)
+			}
+			if ev.Instance < 0 || ev.Instance >= nPrefill {
+				return fmt.Errorf("servesim: fault event %d targets prefill instance %d of %d", i, ev.Instance, nPrefill)
+			}
+		} else if ev.Instance < 0 || ev.Instance >= nDecode {
+			return fmt.Errorf("servesim: fault event %d targets decode instance %d of %d", i, ev.Instance, nDecode)
+		}
+	}
+	if p.MTBF < 0 || p.MTTR < 0 {
+		return fmt.Errorf("servesim: negative MTBF/MTTR %v/%v", p.MTBF, p.MTTR)
+	}
+	if p.RecoveryWindow < 0 {
+		return fmt.Errorf("servesim: negative recovery window %v", p.RecoveryWindow)
+	}
+	if p.RecoveryBand < 0 || p.RecoveryBand > 1 {
+		return fmt.Errorf("servesim: recovery band %v outside [0,1]", p.RecoveryBand)
+	}
+	return nil
+}
+
+// recoveryWindow returns the configured window with the default applied.
+func (p *FaultPlan) recoveryWindow() units.Seconds {
+	if p.RecoveryWindow > 0 {
+		return p.RecoveryWindow
+	}
+	return 5
+}
+
+// recoveryBand returns the configured band with the default applied.
+func (p *FaultPlan) recoveryBand() float64 {
+	if p.RecoveryBand > 0 {
+		return p.RecoveryBand
+	}
+	return 0.8
+}
+
+// RetryPolicy governs requests orphaned by an instance crash (or by a
+// hand-off that finds no healthy decode instance): each orphan re-enters
+// prefill dispatch after an exponential backoff until its budget runs
+// out, at which point it becomes a failed request. The zero value
+// retries nothing — every orphan fails immediately.
+type RetryPolicy struct {
+	// MaxRetries is the per-request retry budget (0: fail on first
+	// orphaning).
+	MaxRetries int
+	// Backoff delays the first retry; retry n waits
+	// Backoff * BackoffFactor^(n-1), capped at MaxBackoff.
+	Backoff units.Seconds
+	// BackoffFactor multiplies the delay per retry (values <= 0 are
+	// treated as 1: constant backoff).
+	BackoffFactor float64
+	// MaxBackoff caps the delay (0: uncapped).
+	MaxBackoff units.Seconds
+}
+
+// DefaultRetryPolicy returns the reference policy: 3 retries starting
+// at 250 ms, doubling, capped at 4 s.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 3, Backoff: 0.25, BackoffFactor: 2, MaxBackoff: 4}
+}
+
+// Validate checks the policy.
+func (r RetryPolicy) Validate() error {
+	if r.MaxRetries < 0 {
+		return fmt.Errorf("servesim: negative retry budget %d", r.MaxRetries)
+	}
+	if r.Backoff < 0 || r.MaxBackoff < 0 {
+		return fmt.Errorf("servesim: negative retry backoff %v/%v", r.Backoff, r.MaxBackoff)
+	}
+	return nil
+}
+
+// delay returns the backoff before the n-th retry (n >= 1).
+func (r RetryPolicy) delay(n int) units.Seconds {
+	d := r.Backoff
+	if f := r.BackoffFactor; f > 0 {
+		for i := 1; i < n; i++ {
+			d *= f
+		}
+	}
+	if r.MaxBackoff > 0 && d > r.MaxBackoff {
+		d = r.MaxBackoff
+	}
+	return d
+}
+
+// AdmissionPolicy sheds arriving requests under overload so the
+// latency of admitted requests stays bounded instead of collapsing —
+// graceful degradation for the fleet. The zero value admits everything.
+type AdmissionPolicy struct {
+	// MaxQueueDepth sheds an arrival when the shared prefill queue
+	// already holds at least this many requests (0: unlimited).
+	MaxQueueDepth int
+	// MaxKVOccupancy sheds an arrival when the fleet-wide KV occupancy
+	// of up instances exceeds this fraction (0: disabled).
+	MaxKVOccupancy float64
+}
+
+// Validate checks the policy.
+func (a AdmissionPolicy) Validate() error {
+	if a.MaxQueueDepth < 0 {
+		return fmt.Errorf("servesim: negative admission queue depth %d", a.MaxQueueDepth)
+	}
+	if a.MaxKVOccupancy < 0 || a.MaxKVOccupancy > 1 {
+		return fmt.Errorf("servesim: admission KV occupancy %v outside [0,1]", a.MaxKVOccupancy)
+	}
+	return nil
+}
+
+// enabled reports whether the policy can ever shed.
+func (a AdmissionPolicy) enabled() bool {
+	return a.MaxQueueDepth > 0 || a.MaxKVOccupancy > 0
+}
+
+// String renders the policy in the CLI spec syntax.
+func (a AdmissionPolicy) String() string {
+	var parts []string
+	if a.MaxQueueDepth > 0 {
+		parts = append(parts, fmt.Sprintf("queue=%d", a.MaxQueueDepth))
+	}
+	if a.MaxKVOccupancy > 0 {
+		parts = append(parts, fmt.Sprintf("kv=%g", a.MaxKVOccupancy))
+	}
+	if len(parts) == 0 {
+		return "admit-all"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Incident is the measured blast radius of one instance crash.
+type Incident struct {
+	// At is the crash time; Instance/Prefill identify the victim.
+	At       units.Seconds
+	Instance int
+	Prefill  bool
+	// Orphaned counts the requests dropped with the instance (active
+	// batch, landing queue, and any in-flight prefill).
+	Orphaned int
+	// KVTokensLost is the KV-resident context the crash destroyed, in
+	// tokens (decode pool contents plus partially built prefill KV).
+	KVTokensLost int
+	// Recovery is the time from the crash until the fleet's within-SLO
+	// completion rate regained RecoveryBand x its pre-crash level over a
+	// RecoveryWindow (0 when there was no pre-crash goodput to regain;
+	// censored at run end when goodput never returned to the band).
+	Recovery units.Seconds
+}
+
+// ParseFaultEvents reads the CLI fault-script syntax: comma-separated
+// "kind@seconds:target" items, where kind is crash, recover, or drain
+// and target is dN (decode/colocated instance N) or pN (prefill
+// instance N) — e.g. "crash@8:d1,recover@16:d1".
+func ParseFaultEvents(s string) ([]FaultEvent, error) {
+	var out []FaultEvent
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		kindAt, target, ok := strings.Cut(item, ":")
+		if !ok {
+			return nil, fmt.Errorf("servesim: fault %q: want kind@seconds:target", item)
+		}
+		kindStr, atStr, ok := strings.Cut(kindAt, "@")
+		if !ok {
+			return nil, fmt.Errorf("servesim: fault %q: want kind@seconds:target", item)
+		}
+		var kind FaultKind
+		switch strings.TrimSpace(kindStr) {
+		case "crash":
+			kind = FaultCrash
+		case "recover":
+			kind = FaultRecover
+		case "drain":
+			kind = FaultDrain
+		default:
+			return nil, fmt.Errorf("servesim: fault %q: unknown kind %q (want crash, recover, or drain)", item, kindStr)
+		}
+		at, err := strconv.ParseFloat(strings.TrimSpace(atStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("servesim: fault %q: bad time: %w", item, err)
+		}
+		target = strings.TrimSpace(target)
+		if len(target) < 2 || (target[0] != 'd' && target[0] != 'p') {
+			return nil, fmt.Errorf("servesim: fault %q: bad target %q (want dN or pN)", item, target)
+		}
+		inst, err := strconv.Atoi(target[1:])
+		if err != nil {
+			return nil, fmt.Errorf("servesim: fault %q: bad target %q: %w", item, target, err)
+		}
+		out = append(out, FaultEvent{At: at, Kind: kind, Prefill: target[0] == 'p', Instance: inst})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("servesim: empty fault script %q", s)
+	}
+	return out, nil
+}
+
+// ParseAdmissionPolicy reads the CLI admission spec: comma-separated
+// "queue=N" and/or "kv=F" clauses — e.g. "queue=32,kv=0.9".
+func ParseAdmissionPolicy(s string) (AdmissionPolicy, error) {
+	var a AdmissionPolicy
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return a, fmt.Errorf("servesim: admission %q: want queue=N or kv=F", item)
+		}
+		switch strings.TrimSpace(key) {
+		case "queue":
+			n, err := strconv.Atoi(strings.TrimSpace(val))
+			if err != nil {
+				return a, fmt.Errorf("servesim: admission %q: %w", item, err)
+			}
+			a.MaxQueueDepth = n
+		case "kv":
+			f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+			if err != nil {
+				return a, fmt.Errorf("servesim: admission %q: %w", item, err)
+			}
+			a.MaxKVOccupancy = f
+		default:
+			return a, fmt.Errorf("servesim: admission %q: unknown key %q (want queue or kv)", item, key)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		return AdmissionPolicy{}, err
+	}
+	return a, nil
+}

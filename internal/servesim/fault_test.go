@@ -1,0 +1,346 @@
+package servesim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dsv3/internal/units"
+)
+
+// crashPlan schedules one decode crash with repair — the reference
+// incident used across the fault tests.
+func crashPlan(inst int, at, repair units.Seconds) *FaultPlan {
+	return &FaultPlan{Events: []FaultEvent{
+		{At: at, Kind: FaultCrash, Instance: inst},
+		{At: repair, Kind: FaultRecover, Instance: inst},
+	}}
+}
+
+// The determinism contract extends to faulted runs: same seed, config
+// and plan must reproduce the report — incidents included — byte for
+// byte, and a faulted run must differ from the clean one.
+func TestFaultDeterminism(t *testing.T) {
+	cfg := V3ServeConfig()
+	cfg.KV.CapacityBytes = 0.4e9
+	cfg.Faults = crashPlan(1, 6, 14)
+	cfg.Retry = DefaultRetryPolicy()
+	w := testWorkload(5, 150)
+	a, err := json.Marshal(mustRun(t, cfg, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(mustRun(t, cfg, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("faulted runs diverged:\n%s\n%s", a, b)
+	}
+	clean := cfg
+	clean.Faults = nil
+	c, err := json.Marshal(mustRun(t, clean, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) == string(c) {
+		t.Error("faulted report identical to fault-free report")
+	}
+}
+
+// MTBF-style random injection must also reproduce byte for byte: the
+// fault RNG is its own seed stream, untouched by workload and routing.
+func TestRandomFaultDeterminism(t *testing.T) {
+	cfg := V3ServeConfig()
+	cfg.Faults = &FaultPlan{MTBF: 8, MTTR: 2}
+	cfg.Retry = DefaultRetryPolicy()
+	w := testWorkload(5, 120)
+	a, err := json.Marshal(mustRun(t, cfg, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(mustRun(t, cfg, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("random-fault runs diverged")
+	}
+}
+
+// Every offered request must be accounted for across completion,
+// failure and shedding, and the crash's blast radius must show up in
+// the incident log and the KV-loss counters.
+func TestCrashBlastRadiusAccounting(t *testing.T) {
+	cfg := V3ServeConfig()
+	cfg.KV.CapacityBytes = 0.4e9
+	cfg.Faults = crashPlan(1, 6, 14)
+	w := testWorkload(6, 150)
+	r := mustRun(t, cfg, w)
+	if r.Requests != w.Requests {
+		t.Fatalf("offered %d, want %d", r.Requests, w.Requests)
+	}
+	if r.Completed+r.Failed+r.Shed != r.Requests {
+		t.Fatalf("conservation: %d completed + %d failed + %d shed != %d offered",
+			r.Completed, r.Failed, r.Shed, r.Requests)
+	}
+	if len(r.Incidents) != 1 {
+		t.Fatalf("incidents %d, want 1", len(r.Incidents))
+	}
+	in := r.Incidents[0]
+	if in.At != 6 || in.Instance != 1 || in.Prefill {
+		t.Errorf("incident %+v, want d1 at t=6", in)
+	}
+	if in.Orphaned == 0 || in.KVTokensLost == 0 {
+		t.Errorf("crash under load orphaned %d requests / %d tokens, want > 0", in.Orphaned, in.KVTokensLost)
+	}
+	if r.AffectedRequests < in.Orphaned || r.KVTokensLost != in.KVTokensLost {
+		t.Errorf("report affected=%d kvLost=%d vs incident orphaned=%d kvLost=%d",
+			r.AffectedRequests, r.KVTokensLost, in.Orphaned, in.KVTokensLost)
+	}
+	// Without a retry policy every orphan fails.
+	if r.Failed != r.AffectedRequests {
+		t.Errorf("no-retry run failed %d of %d affected", r.Failed, r.AffectedRequests)
+	}
+}
+
+// A retry budget converts failures into retries: same incident, zero
+// failed requests, amplification above 1.
+func TestRetrySalvagesOrphans(t *testing.T) {
+	cfg := V3ServeConfig()
+	cfg.KV.CapacityBytes = 0.4e9
+	cfg.Faults = crashPlan(1, 6, 14)
+	w := testWorkload(6, 150)
+	base := mustRun(t, cfg, w)
+	if base.Failed == 0 {
+		t.Skip("crash orphaned nothing at this seed; accounting covered elsewhere")
+	}
+	cfg.Retry = DefaultRetryPolicy()
+	r := mustRun(t, cfg, w)
+	if r.Failed != 0 {
+		t.Errorf("failed %d with a 3-retry budget, want 0", r.Failed)
+	}
+	if r.Retried == 0 || r.Retries < r.Retried {
+		t.Errorf("retried=%d retries=%d, want retried > 0 and retries >= retried", r.Retried, r.Retries)
+	}
+	if r.RetryAmplification <= 1 {
+		t.Errorf("retry amplification %v, want > 1", r.RetryAmplification)
+	}
+	if r.Completed != r.Requests {
+		t.Errorf("completed %d of %d with retries", r.Completed, r.Requests)
+	}
+}
+
+// Draining is planned degradation: held work finishes (no orphans, no
+// KV loss, no incident), but the instance takes no new work while
+// drained, so load shifts relative to the clean run.
+func TestDrainFinishesHeldWork(t *testing.T) {
+	cfg := V3ServeConfig()
+	cfg.KV.CapacityBytes = 0.4e9
+	cfg.Faults = &FaultPlan{Events: []FaultEvent{
+		{At: 5, Kind: FaultDrain, Instance: 1},
+		{At: 15, Kind: FaultRecover, Instance: 1},
+	}}
+	w := testWorkload(6, 150)
+	r := mustRun(t, cfg, w)
+	if len(r.Incidents) != 0 {
+		t.Errorf("drain produced %d incidents, want 0", len(r.Incidents))
+	}
+	if r.Failed != 0 || r.AffectedRequests != 0 || r.KVTokensLost != 0 {
+		t.Errorf("drain lost work: failed=%d affected=%d kvLost=%d", r.Failed, r.AffectedRequests, r.KVTokensLost)
+	}
+	if r.Completed != r.Requests {
+		t.Errorf("completed %d of %d under drain", r.Completed, r.Requests)
+	}
+}
+
+// Queue-depth admission keeps the prefill backlog bounded under
+// overload: arrivals past the cap are shed, and the admitted requests'
+// TTFT tail stays below the admit-all run's.
+func TestAdmissionShedsUnderOverload(t *testing.T) {
+	cfg := V3ServeConfig()
+	cfg.KV.CapacityBytes = 0.4e9
+	w := testWorkload(14, 200)
+	base := mustRun(t, cfg, w)
+	cfg.Admission = AdmissionPolicy{MaxQueueDepth: 16}
+	r := mustRun(t, cfg, w)
+	if r.Shed == 0 {
+		t.Fatal("overloaded run shed nothing at queue cap 16")
+	}
+	if r.Completed+r.Shed != r.Requests {
+		t.Errorf("conservation: %d completed + %d shed != %d", r.Completed, r.Shed, r.Requests)
+	}
+	if r.TTFT.P99 >= base.TTFT.P99 {
+		t.Errorf("shedding TTFT p99 %v not below admit-all %v", r.TTFT.P99, base.TTFT.P99)
+	}
+}
+
+// A fully-drained fleet must not stall the simulator: requests whose
+// prefill completes while every decode instance is unavailable are
+// orphaned, and without retries they fail deterministically.
+func TestFullyDrainedFleetFailsFast(t *testing.T) {
+	cfg := V3ServeConfig()
+	cfg.PrefillInstances, cfg.DecodeInstances = 1, 2
+	cfg.Faults = &FaultPlan{Events: []FaultEvent{
+		{At: 0, Kind: FaultDrain, Instance: 0},
+		{At: 0, Kind: FaultDrain, Instance: 1},
+	}}
+	w := testWorkload(4, 20)
+	r := mustRun(t, cfg, w)
+	if r.Completed != 0 || r.Failed != r.Requests {
+		t.Errorf("drained fleet completed %d / failed %d of %d, want 0 / all", r.Completed, r.Failed, r.Requests)
+	}
+}
+
+// Crashing an instance drains its pending fifo mid-queue; the fifo's
+// clearPtrs/reset teardown must leave no request pointers behind in the
+// recycled buffer.
+func TestFifoTeardownLeavesNoPointers(t *testing.T) {
+	var f fifo
+	reqs := make([]reqState, 6)
+	for i := range reqs {
+		f.push(&reqs[i])
+	}
+	f.pop()
+	f.pop() // head advanced mid-buffer, as after a partial drain
+	f.reset()
+	if f.len() != 0 || f.head != 0 {
+		t.Fatalf("reset left len=%d head=%d", f.len(), f.head)
+	}
+	for i, p := range f.buf[:cap(f.buf)] {
+		if p != nil {
+			t.Fatalf("reset left request pointer at slot %d", i)
+		}
+	}
+	// pop also nils the vacated slot so a long-lived queue never pins
+	// request state it has already handed out.
+	f.push(&reqs[0])
+	f.push(&reqs[1])
+	f.pop()
+	if f.buf[0] != nil {
+		t.Error("pop left the vacated slot pointing at a request")
+	}
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	bad := []FaultPlan{
+		{Events: []FaultEvent{{At: -1, Kind: FaultCrash}}},
+		{Events: []FaultEvent{{Kind: FaultKind(9)}}},
+		{Events: []FaultEvent{{Kind: FaultCrash, Instance: 4}}},                // decode out of range
+		{Events: []FaultEvent{{Kind: FaultCrash, Prefill: true, Instance: 2}}}, // prefill out of range
+		{MTBF: -1},
+		{RecoveryWindow: -1},
+		{RecoveryBand: 1.5},
+	}
+	for i := range bad {
+		cfg := V3ServeConfig()
+		cfg.Faults = &bad[i]
+		if err := cfg.Validate(testWorkload(1, 1)); err == nil {
+			t.Errorf("plan %d validated: %+v", i, bad[i])
+		}
+	}
+	// Colocated fleets have no prefill targets.
+	cfg := V3ServeConfig()
+	cfg.Colocated = true
+	cfg.Faults = &FaultPlan{Events: []FaultEvent{{Kind: FaultCrash, Prefill: true}}}
+	if err := cfg.Validate(testWorkload(1, 1)); err == nil {
+		t.Error("prefill fault target accepted on a colocated cluster")
+	}
+	// ...but their merged instance space covers prefill+decode.
+	cfg.Faults = &FaultPlan{Events: []FaultEvent{{Kind: FaultCrash, Instance: 5}}}
+	if err := cfg.Validate(testWorkload(1, 1)); err != nil {
+		t.Errorf("colocated instance 5 of 2P+4D rejected: %v", err)
+	}
+}
+
+func TestRetryPolicyDelay(t *testing.T) {
+	p := DefaultRetryPolicy()
+	want := []units.Seconds{0.25, 0.5, 1, 2, 4, 4}
+	for i, w := range want {
+		if got := p.delay(i + 1); got != w {
+			t.Errorf("delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if (RetryPolicy{MaxRetries: -1}).Validate() == nil {
+		t.Error("negative retry budget validated")
+	}
+	if (RetryPolicy{Backoff: -1}).Validate() == nil {
+		t.Error("negative backoff validated")
+	}
+}
+
+func TestParseFaultEvents(t *testing.T) {
+	evs, err := ParseFaultEvents("crash@8:d1, recover@16:d1, drain@2:p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FaultEvent{
+		{At: 8, Kind: FaultCrash, Instance: 1},
+		{At: 16, Kind: FaultRecover, Instance: 1},
+		{At: 2, Kind: FaultDrain, Prefill: true},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(evs), len(want))
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, evs[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "crash@8", "melt@8:d1", "crash@x:d1", "crash@8:q1", "crash@8:d"} {
+		if _, err := ParseFaultEvents(bad); err == nil {
+			t.Errorf("ParseFaultEvents(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseAdmissionPolicy(t *testing.T) {
+	a, err := ParseAdmissionPolicy("queue=32, kv=0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxQueueDepth != 32 || a.MaxKVOccupancy != 0.9 {
+		t.Errorf("parsed %+v", a)
+	}
+	if a.String() != "queue=32,kv=0.9" {
+		t.Errorf("String() = %q", a.String())
+	}
+	if (AdmissionPolicy{}).String() != "admit-all" {
+		t.Errorf("zero policy String() = %q", AdmissionPolicy{}.String())
+	}
+	for _, bad := range []string{"queue", "depth=3", "queue=x", "kv=2", "queue=-1"} {
+		if _, err := ParseAdmissionPolicy(bad); err == nil {
+			t.Errorf("ParseAdmissionPolicy(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// ParseTrace rejects negative fields with the offending line number and
+// surfaces scanner read errors instead of truncating silently.
+func TestParseTraceRejectsNegativesAndReadErrors(t *testing.T) {
+	cases := []struct{ in, frag string }{
+		{"0,128,32\n-1,128,32\n", "line 2"},
+		{"0,128,32\n1,-5,32\n", "line 2"},
+		{"# header\n0,128,-2\n", "line 2"},
+	}
+	for _, c := range cases {
+		_, err := ParseTrace(strings.NewReader(c.in))
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("ParseTrace(%q) err = %v, want mention of %s", c.in, err, c.frag)
+		}
+	}
+	if _, err := ParseTrace(errReader{}); err == nil {
+		t.Error("read error swallowed")
+	}
+}
+
+// errReader fails after the first read, exercising the sc.Err() path.
+type errReader struct{}
+
+func (errReader) Read([]byte) (int, error) { return 0, errTruncated }
+
+var errTruncated = &truncErr{}
+
+type truncErr struct{}
+
+func (*truncErr) Error() string { return "simulated read failure" }

@@ -2,6 +2,7 @@ package servesim
 
 import (
 	"slices"
+	"sort"
 
 	"dsv3/internal/parallel"
 	"dsv3/internal/stats"
@@ -29,10 +30,43 @@ type TimelinePoint struct {
 // fields are deterministic functions of (Config, Workload, Seed);
 // encoding a Report as JSON is byte-stable across runs.
 type Report struct {
+	// Requests is the offered traffic; Completed the requests that
+	// finished (Requests = Completed + Failed + Shed).
 	Requests  int
 	Completed int
 	// Preemptions counts KV-exhaustion evictions (recompute restarts).
 	Preemptions int
+
+	// Failure and degradation metrics — all zero on a fault-free run
+	// with admission disabled. Failed requests exhausted their retry
+	// budget after crash orphaning; Shed requests were rejected at
+	// arrival by the admission policy; Retried counts requests that
+	// retried at least once and Retries the total retry attempts.
+	Failed  int
+	Shed    int
+	Retried int
+	Retries int
+	// RetryAmplification is prefill dispatches per admitted request —
+	// (admitted + retries) / admitted; 1.0 means no retry traffic.
+	RetryAmplification float64
+	// KVTokensLost is the KV-resident context destroyed by crashes, in
+	// tokens; AffectedRequests the requests orphaned by crashes or
+	// dead hand-offs.
+	KVTokensLost     int
+	AffectedRequests int
+	// Incidents records each crash's blast radius and recovery time.
+	Incidents []Incident
+	// SLOHealthy and SLOFaulted split SLO attainment by the fleet state
+	// at arrival: requests arriving with every instance up vs during a
+	// degraded span (an instance down or draining). Failed requests
+	// count against their epoch; both are 0 when the epoch saw no
+	// admitted requests.
+	SLOHealthy float64
+	SLOFaulted float64
+	// DroppedSamples counts non-finite latency samples excluded from
+	// the TTFT/TPOT/E2E summaries (stats.Histogram.Dropped; 0 in any
+	// healthy run).
+	DroppedSamples int
 	// Makespan is the completion time of the last request.
 	Makespan units.Seconds
 	// OfferedRate is requests / last arrival; CompletedRate is
@@ -72,11 +106,20 @@ type Report struct {
 // buffer is recycled) is allocated.
 func (e *Engine) report() *Report {
 	r := &Report{
-		Requests:        len(e.completed),
-		Completed:       len(e.completed),
-		Preemptions:     e.preempts,
-		DecodeSteps:     e.steps,
-		PeakKVOccupancy: e.peakOcc,
+		Requests:         len(e.arena),
+		Completed:        len(e.completed),
+		Preemptions:      e.preempts,
+		Failed:           len(e.failed),
+		Shed:             e.shed,
+		Retried:          e.retried,
+		Retries:          e.retries,
+		KVTokensLost:     e.kvLost,
+		AffectedRequests: e.affected,
+		DecodeSteps:      e.steps,
+		PeakKVOccupancy:  e.peakOcc,
+	}
+	if admitted := r.Requests - r.Shed; admitted > 0 {
+		r.RetryAmplification = float64(admitted+r.Retries) / float64(admitted)
 	}
 	if len(e.samples) > 0 {
 		r.Timeline = append([]TimelinePoint(nil), e.samples...)
@@ -90,19 +133,39 @@ func (e *Engine) report() *Report {
 	ttft := e.ttft[:0]
 	tpot := e.tpot[:0]
 	e2e := e.e2e[:0]
+	goodDone := e.goodDone[:0]
 	var lastArrival, lastDone units.Seconds
 	meetsSLO := 0
+	healthyGood, healthyTot, faultedGood, faultedTot := 0, 0, 0, 0
 	for _, req := range e.completed {
 		t := req.firstToken - req.Arrival
 		ttft = append(ttft, t)
 		e2e = append(e2e, req.done-req.Arrival)
+		e.latHist.Add(t)
+		e.latHist.Add(req.done - req.Arrival)
 		perTok := -1.0
 		if req.OutputTokens > 1 {
 			perTok = (req.done - req.firstToken) / float64(req.OutputTokens-1)
 			tpot = append(tpot, perTok)
+			e.latHist.Add(perTok)
 		}
-		if t <= e.cfg.SLO.TTFT && (perTok < 0 || perTok <= e.cfg.SLO.TPOT) {
+		good := t <= e.cfg.SLO.TTFT && (perTok < 0 || perTok <= e.cfg.SLO.TPOT)
+		if good {
 			meetsSLO++
+			if len(e.incidents) > 0 {
+				goodDone = append(goodDone, req.done)
+			}
+		}
+		if e.inDegraded(req.Arrival) {
+			faultedTot++
+			if good {
+				faultedGood++
+			}
+		} else {
+			healthyTot++
+			if good {
+				healthyGood++
+			}
 		}
 		if req.Arrival > lastArrival {
 			lastArrival = req.Arrival
@@ -110,6 +173,23 @@ func (e *Engine) report() *Report {
 		if req.done > lastDone {
 			lastDone = req.done
 		}
+	}
+	// Failed requests count against their arrival epoch's attainment.
+	for _, req := range e.failed {
+		if req.Arrival > lastArrival {
+			lastArrival = req.Arrival
+		}
+		if e.inDegraded(req.Arrival) {
+			faultedTot++
+		} else {
+			healthyTot++
+		}
+	}
+	if healthyTot > 0 {
+		r.SLOHealthy = float64(healthyGood) / float64(healthyTot)
+	}
+	if faultedTot > 0 {
+		r.SLOFaulted = float64(faultedGood) / float64(faultedTot)
 	}
 	r.Makespan = lastDone
 	if lastArrival > 0 {
@@ -122,7 +202,17 @@ func (e *Engine) report() *Report {
 	if r.Completed > 0 {
 		r.SLOAttainment = float64(meetsSLO) / float64(r.Completed)
 	}
+	if len(e.incidents) > 0 {
+		// goodDone is in completion order, which is time order (requests
+		// complete at monotonically non-decreasing e.now) before the
+		// by-ID sort above reordered e.completed — re-establish it.
+		sort.Float64s(goodDone)
+		r.Incidents = append([]Incident(nil), e.incidents...)
+		e.resolveRecovery(r.Incidents, goodDone, lastDone)
+	}
+	e.goodDone = goodDone[:0]
 	e.ttft, e.tpot, e.e2e = ttft[:0], tpot[:0], e2e[:0]
+	r.DroppedSamples = e.latHist.Dropped
 	r.TTFT = stats.SummarizeSorting(ttft)
 	r.TPOT = stats.SummarizeSorting(tpot)
 	r.E2E = stats.SummarizeSorting(e2e)
@@ -140,6 +230,53 @@ func (e *Engine) report() *Report {
 		r.MeanKVOccupancy = sum / float64(len(e.samples))
 	}
 	return r
+}
+
+// inDegraded reports whether any instance was down or draining at t.
+// Spans are appended in open order and never overlap (a span closes
+// before the next opens), so they are sorted by start.
+func (e *Engine) inDegraded(t units.Seconds) bool {
+	if len(e.spans) == 0 {
+		return false
+	}
+	// First span starting after t; the candidate is the one before it.
+	i := sort.Search(len(e.spans), func(i int) bool { return e.spans[i].start > t })
+	return i > 0 && t < e.spans[i-1].end
+}
+
+// resolveRecovery fills each incident's Recovery time: the delay until
+// the within-SLO completion rate, averaged over the trailing recovery
+// window (clipped at the crash instant), regains the configured band of
+// its pre-crash level. goodDone must be sorted; incidents with no
+// pre-crash goodput recover instantly, and an incident whose goodput
+// never returns is censored at the makespan.
+func (e *Engine) resolveRecovery(incidents []Incident, goodDone []float64, makespan units.Seconds) {
+	w := e.cfg.Faults.recoveryWindow()
+	band := e.cfg.Faults.recoveryBand()
+	countIn := func(lo, hi float64) int {
+		return sort.SearchFloat64s(goodDone, hi) - sort.SearchFloat64s(goodDone, lo)
+	}
+	for i := range incidents {
+		at := incidents[i].At
+		pre := float64(countIn(at-w, at)) / w
+		if pre == 0 {
+			incidents[i].Recovery = 0
+			continue
+		}
+		step := w / 8
+		rec := makespan - at // censored unless the scan finds recovery
+		for t := at + step; t <= makespan; t += step {
+			lo := t - w
+			if lo < at {
+				lo = at
+			}
+			if float64(countIn(lo, t))/(t-lo) >= band*pre {
+				rec = t - at
+				break
+			}
+		}
+		incidents[i].Recovery = rec
+	}
 }
 
 // SweepPoint is one arrival rate of a load sweep.

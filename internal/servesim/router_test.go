@@ -135,6 +135,21 @@ func TestLeastKVIsZeroValueDefault(t *testing.T) {
 	}
 }
 
+// A single-candidate fleet leaves every policy exactly one legal
+// answer: index 0 — the degenerate case the health-aware dispatch
+// produces when crashes or drains whittle the candidate set down.
+func TestRouterPickSingleCandidate(t *testing.T) {
+	single := []InstanceLoad{{Instance: 3, Queue: 7, FreeKV: 2}}
+	for _, p := range RouterPolicies() {
+		r := NewRouter(p, 1)
+		for i := 0; i < 3; i++ {
+			if got := r.Pick(single); got != 0 {
+				t.Errorf("%v picked %d from a single candidate, want 0", p, got)
+			}
+		}
+	}
+}
+
 // Every policy yields a deterministic report, every request completes,
 // and the policies genuinely route differently under KV pressure.
 func TestRouterPoliciesDeterministicAndDistinct(t *testing.T) {

@@ -22,6 +22,7 @@ import (
 
 	"dsv3/internal/mtp"
 	"dsv3/internal/parallel"
+	"dsv3/internal/stats"
 	"dsv3/internal/units"
 )
 
@@ -72,6 +73,17 @@ type Config struct {
 	// instances pull work from the shared queue themselves, so the
 	// policy has no effect under Colocated.
 	Router RouterPolicy
+
+	// Faults injects instance crash/recover/drain events (scheduled
+	// and/or MTBF-random) into the run; nil disables fault injection
+	// and the engine behaves exactly as a fault-free build.
+	Faults *FaultPlan
+	// Retry governs requests orphaned by crashes; the zero value fails
+	// every orphan immediately (see DefaultRetryPolicy).
+	Retry RetryPolicy
+	// Admission sheds arriving requests under overload (queue-depth /
+	// KV-occupancy gates); the zero value admits everything.
+	Admission AdmissionPolicy
 
 	SLO  SLO
 	Seed int64
@@ -132,6 +144,21 @@ func (c Config) Validate(w Workload) error {
 	if err := c.Router.Validate(); err != nil {
 		return err
 	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Admission.Validate(); err != nil {
+		return err
+	}
+	if c.Faults != nil {
+		nPrefill, nDecode := c.PrefillInstances, c.DecodeInstances
+		if c.Colocated {
+			nPrefill, nDecode = 0, c.PrefillInstances+c.DecodeInstances
+		}
+		if err := c.Faults.validate(nPrefill, nDecode, c.Colocated); err != nil {
+			return err
+		}
+	}
 	// A single worst-case request must fit in one instance's KV pool,
 	// or preemption could livelock with no victim to evict.
 	total := c.KV.TotalPages(c.Latency.Model)
@@ -149,6 +176,16 @@ const (
 	evPrefillDone
 	evDecodeLand
 	evStepDone
+	// evFaultPlanned applies Config.Faults.Events[inst]; evFaultRandom
+	// fires one MTBF-drawn crash and re-arms itself; evFaultRecover
+	// repairs an MTBF-crashed instance after its MTTR dwell (inst >= 0
+	// is a decode index, inst < 0 encodes prefill index -(inst+1)).
+	evFaultPlanned
+	evFaultRandom
+	evFaultRecover
+	// evRetry re-enters an orphaned request into prefill dispatch after
+	// its backoff.
+	evRetry
 )
 
 type event struct {
@@ -156,7 +193,11 @@ type event struct {
 	seq  int
 	kind eventKind
 	inst int // prefill instance (evPrefillDone), decode instance (evDecodeLand, evStepDone)
-	req  *reqState
+	// epoch pins evPrefillDone/evStepDone to the owning instance's
+	// incarnation: a crash bumps the instance epoch, so events the dead
+	// incarnation scheduled are recognized as stale and dropped.
+	epoch int
+	req   *reqState
 }
 
 // eventHeap is a slice-backed binary min-heap of event values ordered
@@ -226,8 +267,10 @@ type reqState struct {
 	pages int
 	// resumed marks a preempted request re-running prefill to rebuild
 	// its KV (recompute); its first token was already emitted.
-	resumed    bool
-	preempted  int
+	resumed   bool
+	preempted int
+	// retries counts crash-orphaning retries spent (RetryPolicy budget).
+	retries    int
 	firstToken units.Seconds
 	done       units.Seconds
 	admitSeq   int // admission order on the decode instance (preemption priority)
@@ -239,10 +282,26 @@ type reqState struct {
 
 func (r *reqState) remaining() int { return r.OutputTokens - r.generated }
 
+// healthState is an instance's availability: up instances take new
+// work, draining instances finish what they hold but are excluded from
+// routing, down instances hold nothing and take nothing.
+type healthState int8
+
+const (
+	healthUp healthState = iota
+	healthDraining
+	healthDown
+)
+
 // prefillUnit is one prefill (or the prefill half of a colocated)
 // instance.
 type prefillUnit struct {
 	busy bool
+	// cur is the in-flight prefill (orphaned if the instance crashes);
+	// epoch invalidates the matching evPrefillDone after a crash.
+	cur    *reqState
+	epoch  int
+	health healthState
 }
 
 // decodeUnit is one decode (or colocated) instance.
@@ -251,8 +310,11 @@ type decodeUnit struct {
 	pending  fifo // landed, waiting for batch slot + KV pages
 	kv       kvPool
 	stepping bool
+	epoch    int
+	health   healthState
 	// colocated bookkeeping
 	prefilling   bool
+	prefillReq   *reqState // in-flight stall-the-world prefill
 	sincePrefill int
 	admitCounter int
 }
@@ -265,7 +327,10 @@ func (d *decodeUnit) reset(kv kvPool) {
 	d.pending.reset()
 	d.kv = kv
 	d.stepping = false
+	d.epoch = 0
+	d.health = healthUp
 	d.prefilling = false
+	d.prefillReq = nil
 	d.sincePrefill = 0
 	d.admitCounter = 0
 }
@@ -342,8 +407,26 @@ type Engine struct {
 	lc        latConsts // per-run latency constants (see LatencyModel.consts)
 	markGen   int       // preemption-victim generation (see reqState.preemptMark)
 
+	// Fault-injection state. The fault RNG is its own reseedable stream
+	// (seed stream 4), so injected randomness never perturbs the
+	// workload, MTP, or routing draws; every field below stays zero on a
+	// fault-free run and adds no per-run allocation.
+	faultRng      *rand.Rand
+	faultReseed   func(int64)
+	downCount     int           // instances not healthUp (degraded-span tracking)
+	degradedSince units.Seconds // start of the currently open degraded span
+
 	// metrics accumulation
 	completed  []*reqState
+	failed     []*reqState
+	shed       int
+	retries    int // total retry attempts across requests
+	retried    int // requests that retried at least once
+	affected   int // requests orphaned by crashes or dead hand-offs
+	kvLost     int // KV-resident tokens destroyed by crashes
+	incidents  []Incident
+	spans      []faultSpan // closed degraded intervals
+	goodDone   []float64   // within-SLO completion times (incident recovery scan)
 	preempts   int
 	steps      int
 	stepBatch  int
@@ -353,7 +436,14 @@ type Engine struct {
 	nextSample units.Seconds
 	sampleStep units.Seconds
 
-	ttft, tpot, e2e []float64 // report percentile scratch
+	latHist         stats.Histogram // latency-sample tally (surfaces Dropped)
+	ttft, tpot, e2e []float64       // report percentile scratch
+}
+
+// faultSpan is one interval during which at least one instance was
+// degraded (down or draining).
+type faultSpan struct {
+	start, end units.Seconds
 }
 
 // NewEngine returns an empty engine; buffers grow to the largest run it
@@ -361,6 +451,7 @@ type Engine struct {
 func NewEngine() *Engine {
 	e := &Engine{}
 	e.rng, e.reseed = parallel.NewReseedable(0)
+	e.faultRng, e.faultReseed = parallel.NewReseedable(0)
 	return e
 }
 
@@ -383,8 +474,9 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 	reqs := e.reqs
 
 	// Seed-stream layout: 0 workload, 1 engine (MTP acceptance), 2/3
-	// the routing streams. Routing draws never touch the engine stream,
-	// so switching policies cannot perturb speculative decoding.
+	// the routing streams, 4 fault injection. Routing and fault draws
+	// never touch the engine stream, so switching policies (or adding a
+	// fault plan) cannot perturb speculative decoding.
 	e.cfg = cfg
 	e.reseed(parallel.DeriveSeed(cfg.Seed, 1))
 	e.prefillRouter = NewRouter(cfg.Router, parallel.DeriveSeed(cfg.Seed, 2))
@@ -398,6 +490,14 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 	e.prefillQ.reset()
 	clearPtrs(e.completed)
 	e.completed = e.completed[:0]
+	clearPtrs(e.failed)
+	e.failed = e.failed[:0]
+	e.shed, e.retries, e.retried, e.affected, e.kvLost = 0, 0, 0, 0, 0
+	e.downCount = 0
+	e.incidents = e.incidents[:0]
+	e.spans = e.spans[:0]
+	e.goodDone = e.goodDone[:0]
+	e.latHist = stats.Histogram{}
 	e.preempts, e.steps, e.stepBatch, e.stepTokens = 0, 0, 0, 0
 	e.peakOcc = 0
 	e.samples = e.samples[:0]
@@ -445,31 +545,80 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 		e.arena[i] = reqState{Request: reqs[i]}
 		e.schedule(reqs[i].Arrival, evArrival, 0, &e.arena[i])
 	}
+	if plan := cfg.Faults; plan != nil {
+		e.faultReseed(parallel.DeriveSeed(cfg.Seed, 4))
+		for i := range plan.Events {
+			e.schedule(plan.Events[i].At, evFaultPlanned, i, nil)
+		}
+		if plan.MTBF > 0 {
+			e.schedule(e.faultRng.ExpFloat64()*plan.MTBF, evFaultRandom, 0, nil)
+		}
+	}
 	for len(e.heap) > 0 {
 		ev := e.heap.pop()
 		e.now = ev.at
 		e.sampleUpTo(e.now)
 		switch ev.kind {
 		case evArrival:
-			e.prefillQ.push(ev.req)
+			if e.shouldShed() {
+				e.shed++
+			} else {
+				e.prefillQ.push(ev.req)
+			}
 		case evPrefillDone:
 			e.prefillDone(&ev)
 		case evDecodeLand:
 			d := &e.decodes[ev.inst]
+			if d.health == healthDown {
+				// The KV migration arrived at a crashed host: the
+				// request is orphaned mid-hand-off.
+				e.orphan(ev.req)
+				break
+			}
 			d.pending.push(ev.req)
 			if !d.stepping && !d.prefilling {
 				e.startStep(ev.inst)
 			}
 		case evStepDone:
+			if e.decodes[ev.inst].epoch != ev.epoch {
+				break // scheduled by a crashed incarnation
+			}
 			if err := e.stepDone(ev.inst); err != nil {
 				return nil, err
 			}
+		case evFaultPlanned:
+			fe := cfg.Faults.Events[ev.inst]
+			e.applyFault(fe.Kind, fe.Prefill, fe.Instance)
+		case evFaultRandom:
+			e.randomCrash()
+		case evFaultRecover:
+			if ev.inst >= 0 {
+				e.applyFault(FaultRecover, false, ev.inst)
+			} else {
+				e.applyFault(FaultRecover, true, -(ev.inst + 1))
+			}
+		case evRetry:
+			req := ev.req
+			req.resumed = req.generated > 0
+			req.ctx = req.ctxForPrefill()
+			e.prefillQ.push(req)
 		}
 		e.dispatch()
+		// Every request resolved: only maintenance events (fault
+		// schedule entries, MTBF re-arms, repairs) can remain, and the
+		// MTBF chain re-arms itself forever — stop here, not on heap
+		// drain.
+		if len(e.completed)+len(e.failed)+e.shed == len(e.arena) {
+			break
+		}
 	}
-	if len(e.completed) != len(reqs) {
+	if e.downCount > 0 {
+		e.spans = append(e.spans, faultSpan{start: e.degradedSince, end: e.now})
+		e.downCount = 0
+	}
+	if n := len(e.completed) + len(e.failed) + e.shed; n != len(reqs) {
 		return nil, fmt.Errorf("servesim: %d of %d requests never completed (scheduling stall)",
-			len(reqs)-len(e.completed), len(reqs))
+			len(reqs)-n, len(reqs))
 	}
 	return e.report(), nil
 }
@@ -477,6 +626,40 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 func (e *Engine) schedule(at units.Seconds, kind eventKind, inst int, req *reqState) {
 	e.seq++
 	e.heap.push(event{at: at, seq: e.seq, kind: kind, inst: inst, req: req})
+}
+
+// scheduleEpoch is schedule for events that must die with the target
+// instance's current incarnation (evStepDone, evPrefillDone).
+func (e *Engine) scheduleEpoch(at units.Seconds, kind eventKind, inst, epoch int, req *reqState) {
+	e.seq++
+	e.heap.push(event{at: at, seq: e.seq, kind: kind, inst: inst, epoch: epoch, req: req})
+}
+
+// shouldShed applies the admission policy to one arrival: shed when the
+// shared prefill queue is too deep or the up-fleet KV occupancy too
+// high — the graceful-degradation gate that keeps admitted requests'
+// latency bounded under overload.
+func (e *Engine) shouldShed() bool {
+	a := e.cfg.Admission
+	if !a.enabled() {
+		return false
+	}
+	if a.MaxQueueDepth > 0 && e.prefillQ.len() >= a.MaxQueueDepth {
+		return true
+	}
+	if a.MaxKVOccupancy > 0 {
+		var used, total int
+		for i := range e.decodes {
+			if d := &e.decodes[i]; d.health != healthDown {
+				used += d.kv.used
+				total += d.kv.total
+			}
+		}
+		if total > 0 && float64(used)/float64(total) > a.MaxKVOccupancy {
+			return true
+		}
+	}
+	return false
 }
 
 // dispatch hands queued prefill work to idle capacity. It runs after
@@ -491,15 +674,17 @@ func (e *Engine) dispatch() {
 			if e.prefillQ.len() == 0 {
 				return
 			}
-			if d := &e.decodes[i]; !d.stepping && !d.prefilling {
+			if d := &e.decodes[i]; d.health == healthUp && !d.stepping && !d.prefilling {
 				e.startStep(i)
 			}
 		}
 		return
 	}
+	// Health-aware candidate set: crashed and draining prefill units are
+	// invisible to the router.
 	idle := e.loads[:0]
 	for i := range e.prefills {
-		if !e.prefills[i].busy {
+		if p := &e.prefills[i]; !p.busy && p.health == healthUp {
 			idle = append(idle, InstanceLoad{Instance: i})
 		}
 	}
@@ -508,8 +693,10 @@ func (e *Engine) dispatch() {
 		inst := idle[k].Instance
 		idle = append(idle[:k], idle[k+1:]...)
 		req := e.prefillQ.pop()
-		e.prefills[inst].busy = true
-		e.schedule(e.now+e.cfg.Latency.prefillTime(e.lc, req.ctxForPrefill()), evPrefillDone, inst, req)
+		p := &e.prefills[inst]
+		p.busy = true
+		p.cur = req
+		e.scheduleEpoch(e.now+e.cfg.Latency.prefillTime(e.lc, req.ctxForPrefill()), evPrefillDone, inst, p.epoch, req)
 	}
 	e.loads = idle[:0]
 }
@@ -526,25 +713,43 @@ func (r *reqState) ctxForPrefill() int {
 func (e *Engine) prefillDone(ev *event) {
 	req := ev.req
 	if e.cfg.Colocated {
+		if e.decodes[ev.inst].epoch != ev.epoch {
+			return // the instance crashed mid-prefill; req was orphaned then
+		}
 		e.colocatedPrefillDone(ev.inst, req)
 		return
 	}
-	e.prefills[ev.inst].busy = false
+	p := &e.prefills[ev.inst]
+	if p.epoch != ev.epoch {
+		return // the instance crashed mid-prefill; req was orphaned then
+	}
+	p.busy = false
+	p.cur = nil
 	e.emitFirstToken(req)
 	if req.remaining() == 0 {
 		e.complete(req)
 		return
 	}
 	// Route to a decode instance via the configured policy (least-KV
-	// by default), after the KV migration delay.
+	// by default), after the KV migration delay. Crashed and draining
+	// instances are excluded; a fleet with no healthy decode instance
+	// orphans the request into the retry path.
 	loads := e.loads[:0]
 	for i := range e.decodes {
 		d := &e.decodes[i]
+		if d.health != healthUp {
+			continue
+		}
 		loads = append(loads, InstanceLoad{
 			Instance: i,
 			Queue:    d.pending.len() + len(d.active),
 			FreeKV:   d.kv.free(),
 		})
+	}
+	if len(loads) == 0 {
+		e.loads = loads[:0]
+		e.orphan(req)
+		return
 	}
 	best := loads[e.decodeRouter.Pick(loads)].Instance
 	e.loads = loads[:0]
@@ -575,7 +780,7 @@ func (e *Engine) complete(req *reqState) {
 func (e *Engine) startStep(inst int) {
 	d := &e.decodes[inst]
 
-	if e.cfg.Colocated && e.prefillQ.len() > 0 && len(d.active) < e.cfg.MaxBatch &&
+	if e.cfg.Colocated && d.health == healthUp && e.prefillQ.len() > 0 && len(d.active) < e.cfg.MaxBatch &&
 		(len(d.active) == 0 || d.sincePrefill >= e.cfg.ColocatedStride) {
 		req := e.prefillQ.peek()
 		// A colocated request decodes in place, so reserve its full
@@ -588,8 +793,9 @@ func (e *Engine) startStep(inst int) {
 			e.prefillQ.pop()
 			req.pages = pages
 			d.prefilling = true
+			d.prefillReq = req
 			e.notePeakOcc()
-			e.schedule(e.now+e.cfg.Latency.prefillTime(e.lc, req.ctxForPrefill()), evPrefillDone, inst, req)
+			e.scheduleEpoch(e.now+e.cfg.Latency.prefillTime(e.lc, req.ctxForPrefill()), evPrefillDone, inst, d.epoch, req)
 			return
 		}
 	}
@@ -629,7 +835,7 @@ func (e *Engine) startStep(inst int) {
 	d.sincePrefill++
 	e.steps++
 	e.stepBatch += len(d.active)
-	e.schedule(e.now+dt, evStepDone, inst, nil)
+	e.scheduleEpoch(e.now+dt, evStepDone, inst, d.epoch, nil)
 }
 
 // colocatedPrefillDone finishes a stall-the-world prefill on a
@@ -638,6 +844,7 @@ func (e *Engine) startStep(inst int) {
 func (e *Engine) colocatedPrefillDone(inst int, req *reqState) {
 	d := &e.decodes[inst]
 	d.prefilling = false
+	d.prefillReq = nil
 	d.sincePrefill = 0
 	e.emitFirstToken(req)
 	if req.remaining() == 0 {
@@ -772,6 +979,176 @@ func (e *Engine) notePeakOcc() {
 	if occ := float64(used) / float64(total); occ > e.peakOcc {
 		e.peakOcc = occ
 	}
+}
+
+// noteHealth tracks fleet degradation across one instance's health
+// transition, opening/closing the degraded span that splits SLO
+// attainment by fault epoch.
+func (e *Engine) noteHealth(from, to healthState) {
+	wasUp, isUp := from == healthUp, to == healthUp
+	if wasUp == isUp {
+		return
+	}
+	if isUp {
+		e.downCount--
+		if e.downCount == 0 {
+			e.spans = append(e.spans, faultSpan{start: e.degradedSince, end: e.now})
+		}
+		return
+	}
+	if e.downCount == 0 {
+		e.degradedSince = e.now
+	}
+	e.downCount++
+}
+
+// applyFault applies one fault transition to an instance. Crashing a
+// down instance, recovering an up one, or draining a non-up one are
+// no-ops, so fault scripts compose without ordering hazards.
+func (e *Engine) applyFault(kind FaultKind, prefill bool, inst int) {
+	if prefill {
+		p := &e.prefills[inst]
+		switch kind {
+		case FaultCrash:
+			if p.health != healthDown {
+				e.crashPrefill(inst)
+			}
+		case FaultRecover:
+			e.noteHealth(p.health, healthUp)
+			p.health = healthUp
+		case FaultDrain:
+			if p.health == healthUp {
+				e.noteHealth(healthUp, healthDraining)
+				p.health = healthDraining
+			}
+		}
+		return
+	}
+	d := &e.decodes[inst]
+	switch kind {
+	case FaultCrash:
+		if d.health != healthDown {
+			e.crashDecode(inst)
+		}
+	case FaultRecover:
+		e.noteHealth(d.health, healthUp)
+		d.health = healthUp
+	case FaultDrain:
+		if d.health == healthUp {
+			e.noteHealth(healthUp, healthDraining)
+			d.health = healthDraining
+		}
+	}
+}
+
+// randomCrash fires one MTBF-drawn crash: a uniform random instance
+// (already-down victims waste the draw — the hazard does not
+// concentrate on survivors), auto-repaired after an MTTR dwell, then
+// re-arms the next crash. All draws come from the fault stream in a
+// fixed order, so the schedule is a pure function of the seed.
+func (e *Engine) randomCrash() {
+	plan := e.cfg.Faults
+	n := len(e.prefills) + len(e.decodes)
+	pick := e.faultRng.Intn(n)
+	var repair units.Seconds
+	if plan.MTTR > 0 {
+		repair = e.faultRng.ExpFloat64() * plan.MTTR
+	}
+	if pick < len(e.prefills) {
+		if p := &e.prefills[pick]; p.health != healthDown {
+			e.crashPrefill(pick)
+			if repair > 0 {
+				e.schedule(e.now+repair, evFaultRecover, -(pick + 1), nil)
+			}
+		}
+	} else {
+		pick -= len(e.prefills)
+		if d := &e.decodes[pick]; d.health != healthDown {
+			e.crashDecode(pick)
+			if repair > 0 {
+				e.schedule(e.now+repair, evFaultRecover, pick, nil)
+			}
+		}
+	}
+	e.schedule(e.now+e.faultRng.ExpFloat64()*plan.MTBF, evFaultRandom, 0, nil)
+}
+
+// crashPrefill kills a prefill instance: the in-flight prefill (if any)
+// is orphaned — its partially built KV counts as lost tokens — and the
+// epoch bump invalidates the matching evPrefillDone still in the heap.
+func (e *Engine) crashPrefill(inst int) {
+	p := &e.prefills[inst]
+	inc := Incident{At: e.now, Instance: inst, Prefill: true}
+	if p.busy && p.cur != nil {
+		inc.Orphaned++
+		inc.KVTokensLost += p.cur.ctxForPrefill()
+		e.orphan(p.cur)
+	}
+	p.cur = nil
+	p.busy = false
+	p.epoch++
+	e.noteHealth(p.health, healthDown)
+	p.health = healthDown
+	e.kvLost += inc.KVTokensLost
+	e.incidents = append(e.incidents, inc)
+}
+
+// crashDecode kills a decode (or colocated) instance: the active batch,
+// the landing queue and any stall-the-world prefill are orphaned, the
+// KV pool is freed wholesale, and the epoch bump invalidates the
+// instance's in-flight evStepDone/evPrefillDone events.
+func (e *Engine) crashDecode(inst int) {
+	d := &e.decodes[inst]
+	inc := Incident{At: e.now, Instance: inst}
+	for _, req := range d.active {
+		inc.Orphaned++
+		inc.KVTokensLost += req.ctx
+		e.orphan(req)
+	}
+	clearPtrs(d.active)
+	d.active = d.active[:0]
+	for d.pending.len() > 0 {
+		// Landed requests hold no pages yet; they are affected but add
+		// no KV loss.
+		inc.Orphaned++
+		e.orphan(d.pending.pop())
+	}
+	d.pending.reset()
+	if d.prefilling && d.prefillReq != nil {
+		inc.Orphaned++
+		inc.KVTokensLost += d.prefillReq.ctxForPrefill()
+		e.orphan(d.prefillReq)
+	}
+	d.prefillReq = nil
+	d.prefilling = false
+	d.stepping = false
+	d.kv.used = 0
+	d.epoch++
+	e.noteHealth(d.health, healthDown)
+	d.health = healthDown
+	e.kvLost += inc.KVTokensLost
+	e.incidents = append(e.incidents, inc)
+}
+
+// orphan routes one crash-dropped request through the retry policy:
+// requeue after backoff while budget remains, otherwise fail it. The
+// request's pages are gone either way (the crashed pool was freed
+// wholesale), so a retried request re-prefills its whole context —
+// recompute, exactly like a preemption victim.
+func (e *Engine) orphan(req *reqState) {
+	req.pages = 0
+	e.affected++
+	if req.retries < e.cfg.Retry.MaxRetries {
+		if req.retries == 0 {
+			e.retried++
+		}
+		req.retries++
+		e.retries++
+		e.schedule(e.now+e.cfg.Retry.delay(req.retries), evRetry, 0, req)
+		return
+	}
+	req.done = e.now
+	e.failed = append(e.failed, req)
 }
 
 // sampleUpTo records timeline points for every sampling instant that

@@ -343,10 +343,21 @@ func ParseTrace(r io.Reader) ([]Request, error) {
 		if err != nil {
 			return nil, fmt.Errorf("servesim: trace line %d: %w", line, err)
 		}
+		if arr < 0 {
+			return nil, fmt.Errorf("servesim: trace line %d: negative arrival %v", line, arr)
+		}
+		if prompt < 0 {
+			return nil, fmt.Errorf("servesim: trace line %d: negative prompt tokens %d", line, prompt)
+		}
+		if output < 0 {
+			return nil, fmt.Errorf("servesim: trace line %d: negative output tokens %d", line, output)
+		}
 		out = append(out, Request{ID: len(out), Arrival: arr, PromptTokens: prompt, OutputTokens: output})
 	}
+	// A scanner error is a truncated read, not an empty tail — surface
+	// it instead of replaying a silently shortened trace.
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("servesim: trace read: %w", err)
 	}
 	return out, nil
 }
