@@ -286,6 +286,51 @@ func BenchmarkServeEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkServeEngineTiered measures the same steady-state unit of
+// work with the KV hierarchy live: multi-turn sessions through a tight
+// HBM pool, so offload/reload, tier eviction and the prefix cache all
+// run on the warm engine. The hierarchy is scratch-backed (chunk
+// counters, a free-listed entry arena, a cleared session map), so the
+// marginal footprint stays pinned alongside the flat-pool benchmark.
+func BenchmarkServeEngineTiered(b *testing.B) {
+	cfg := V3ServeConfig()
+	cfg.KV.HBM.CapacityBytes = 0.08e9
+	cfg.KV.ChunkTokens = 256
+	cfg.KV.Tiers = []ServeKVTierConfig{
+		{Name: "dram", CapacityBytes: 8e9, ReadBW: 24e9, WriteBW: 16e9, ChunkLatency: 50e-6},
+		{Name: "flash", CapacityBytes: 64e9, ReadBW: 6e9, WriteBW: 3e9, ChunkLatency: 400e-6},
+	}
+	cfg.KV.PrefixCache = true
+	w := ServeWorkload{
+		Arrival:    ArrivalPoisson,
+		RatePerSec: 2.5,
+		Requests:   200,
+		Prompt:     ServeLengthDist{Kind: DistUniform, Mean: 256, Min: 192, Max: 320},
+		Output:     ServeLengthDist{Kind: DistUniform, Mean: 256, Min: 192, Max: 320},
+		Turns:      3,
+		ThinkTime:  2,
+	}
+	eng := NewServeEngine()
+	rep, err := eng.Run(cfg, w) // warm the pools
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.KVOffloads == 0 || rep.PrefixHits == 0 {
+		b.Fatalf("hierarchy idle (offloads=%d hits=%d); benchmark would not cover it", rep.KVOffloads, rep.PrefixHits)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eng.Run(cfg, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != w.Requests {
+			b.Fatalf("completed %d of %d requests", rep.Completed, w.Requests)
+		}
+	}
+}
+
 // BenchmarkCapacityPlanner measures a full doubling+bisection capacity
 // search — many engine runs back to back on the planner's pooled
 // engine.

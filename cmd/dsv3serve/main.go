@@ -22,6 +22,13 @@
 //	                                       #   on,off dwell seconds)
 //	dsv3serve -colocate -stride 32         # colocated continuous batching
 //	dsv3serve -mtp 0.85                    # MTP speculative decoding
+//	dsv3serve -kv-tiers name=dram,cap=8,read=24,write=16,lat=0.05
+//	                                       # spill KV tiers below HBM
+//	                                       #   (cap GB, read/write GB/s, lat ms)
+//	dsv3serve -prefix-cache -turns 3 -think 2
+//	                                       # multi-turn sessions reusing the
+//	                                       #   cached prefix from a spill tier
+//	dsv3serve -chunk-tokens 256            # offload/prefix chunk granularity
 //	dsv3serve -trace requests.csv          # replay arrival,prompt,output lines
 //	dsv3serve -fail crash@6:d1,recover@14:d1
 //	                                       # scheduled instance faults
@@ -62,6 +69,11 @@ func main() {
 	stride := flag.Int("stride", 4, "colocated: min decode steps between stall-the-world prefills")
 	maxBatch := flag.Int("batch", 64, "max decode batch per instance")
 	kvGB := flag.Float64("kv", 64, "KV cache capacity per instance (GB)")
+	kvTiers := flag.String("kv-tiers", "", "spill KV tiers below HBM, \"/\"-separated (e.g. name=dram,cap=8,read=24,write=16,lat=0.05/name=flash,cap=64,read=6); empty keeps HBM-only")
+	chunkTokens := flag.Int("chunk-tokens", 0, "offload/prefix-cache chunk granularity in tokens (0 uses the default)")
+	prefixCache := flag.Bool("prefix-cache", false, "cache each session's grown prefix in a spill tier (requires -kv-tiers)")
+	turns := flag.Int("turns", 1, "turns per session; >1 generates multi-turn sessions with grown prefixes")
+	think := flag.Float64("think", 0, "mean think-time seconds between session turns")
 	mtpAccept := flag.Float64("mtp", 0, "MTP draft acceptance rate (0 disables speculation)")
 	failSpec := flag.String("fail", "", "scheduled faults: kind@seconds:target list (e.g. crash@6:d1,recover@14:d1; kinds crash/recover/drain, targets dN/pN)")
 	mtbf := flag.Float64("mtbf", 0, "mean seconds between random instance crashes (0 disables)")
@@ -81,18 +93,27 @@ func main() {
 	start := time.Now()
 
 	cfg := dsv3.V3ServeConfig()
-	cfg.PrefillInstances = *prefill
-	cfg.DecodeInstances = *decode
-	cfg.Colocated = *colocate
-	cfg.ColocatedStride = *stride
-	cfg.MaxBatch = *maxBatch
-	cfg.KV.CapacityBytes = *kvGB * 1e9
+	cfg.Fleet.PrefillInstances = *prefill
+	cfg.Fleet.DecodeInstances = *decode
+	cfg.Fleet.Colocated = *colocate
+	cfg.Fleet.ColocatedStride = *stride
+	cfg.Fleet.MaxBatch = *maxBatch
+	cfg.KV.HBM.CapacityBytes = *kvGB * 1e9
 	cfg.Seed = *seed
 	policy, err := dsv3.ParseServeRouterPolicy(*routerName)
 	if err != nil {
 		fail(err)
 	}
-	cfg.Router = policy
+	cfg.Fleet.Router = policy
+	if *kvTiers != "" {
+		tiers, err := dsv3.ParseServeKVTiers(*kvTiers)
+		if err != nil {
+			fail(err)
+		}
+		cfg.KV.Tiers = tiers
+	}
+	cfg.KV.ChunkTokens = *chunkTokens
+	cfg.KV.PrefixCache = *prefixCache
 	if *mtpAccept > 0 {
 		spec := dsv3.MTPV3()
 		spec.Acceptance = *mtpAccept
@@ -106,26 +127,39 @@ func main() {
 				fail(err)
 			}
 		}
-		cfg.Faults = &dsv3.ServeFaultPlan{Events: events, MTBF: *mtbf, MTTR: *mttr}
+		cfg.Resilience.Faults = &dsv3.ServeFaultPlan{Events: events, MTBF: *mtbf, MTTR: *mttr}
 	}
 	if *retries > 0 {
-		cfg.Retry = dsv3.DefaultServeRetryPolicy()
-		cfg.Retry.MaxRetries = *retries
+		cfg.Resilience.Retry = dsv3.DefaultServeRetryPolicy()
+		cfg.Resilience.Retry.MaxRetries = *retries
 	}
 	if *admissionSpec != "" {
 		adm, err := dsv3.ParseServeAdmissionPolicy(*admissionSpec)
 		if err != nil {
 			fail(err)
 		}
-		cfg.Admission = adm
+		cfg.Resilience.Admission = adm
 	}
-	faulty := cfg.Faults != nil || *admissionSpec != "" || *retries > 0
+	faulty := cfg.Resilience.Faults != nil || *admissionSpec != "" || *retries > 0
+
+	// Surface every configuration problem at once: Config.Validate
+	// aggregates the sub-config errors with errors.Join, so a broken
+	// invocation lists all of them instead of failing one at a time.
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "dsv3serve: invalid configuration:")
+		for _, line := range strings.Split(err.Error(), "\n") {
+			fmt.Fprintln(os.Stderr, "  -", line)
+		}
+		os.Exit(1)
+	}
 
 	w := dsv3.ServeWorkload{
-		Arrival:  dsv3.ArrivalPoisson,
-		Requests: *requests,
-		Prompt:   dsv3.LogNormalLength(*promptMean, 0.5),
-		Output:   dsv3.LogNormalLength(*outputMean, 0.5),
+		Arrival:   dsv3.ArrivalPoisson,
+		Requests:  *requests,
+		Prompt:    dsv3.LogNormalLength(*promptMean, 0.5),
+		Output:    dsv3.LogNormalLength(*outputMean, 0.5),
+		Turns:     *turns,
+		ThinkTime: *think,
 	}
 	if *burst != "" {
 		on, off, err := parseBurst(*burst)
@@ -156,6 +190,9 @@ func main() {
 
 	var pts []dsv3.ServeSweepPoint
 	if *tracePath != "" {
+		if *turns > 1 {
+			fail(fmt.Errorf("dsv3serve: -turns needs generated traffic; encode sessions in the -trace instead"))
+		}
 		f, err := os.Open(*tracePath)
 		if err != nil {
 			fail(err)
@@ -329,6 +366,13 @@ func buildResult(pts []dsv3.ServeSweepPoint, traced, timeline, faulty bool, seed
 			dsv3.IntCell(r.Preemptions), dsv3.IntCell(r.DroppedSamples))
 	}
 	tables := []*dsv3.ExperimentTable{t}
+	tiered := false
+	for _, p := range pts {
+		tiered = tiered || len(p.Report.KVTierMoves) > 0
+	}
+	if tiered {
+		tables = append(tables, buildKVTierTables(pts, traced)...)
+	}
 	if faulty {
 		tables = append(tables, buildFailureTables(pts, traced)...)
 	}
@@ -352,6 +396,52 @@ func buildResult(pts []dsv3.ServeSweepPoint, traced, timeline, faulty bool, seed
 	res := dsv3.NewExperimentResult("dsv3serve", "request-level serving simulation", tables...)
 	res.Meta.Seed = seed
 	return res
+}
+
+// buildKVTierTables packs the tiered-KV metrics for runs with spill
+// tiers configured: the offload/reload and prefix-cache summary per
+// point, and the bytes moved through each tier (index 0 is HBM).
+func buildKVTierTables(pts []dsv3.ServeSweepPoint, traced bool) []*dsv3.ExperimentTable {
+	rateCell := func(p dsv3.ServeSweepPoint) dsv3.ExperimentCell {
+		if traced {
+			return dsv3.FloatCell("%.2f", p.Report.OfferedRate)
+		}
+		return dsv3.FloatCell("%.1f", p.RatePerSec)
+	}
+	sum := dsv3.NewExperimentTable("KV hierarchy",
+		dsv3.ExperimentColumn{Name: "Rate", Unit: "req/s"},
+		dsv3.ExperimentColumn{Name: "Offloads"},
+		dsv3.ExperimentColumn{Name: "Reloads"},
+		dsv3.ExperimentColumn{Name: "Demotions"},
+		dsv3.ExperimentColumn{Name: "Drops"},
+		dsv3.ExperimentColumn{Name: "Reload stall", Unit: "s"},
+		dsv3.ExperimentColumn{Name: "Prefix hits"},
+		dsv3.ExperimentColumn{Name: "Misses"},
+		dsv3.ExperimentColumn{Name: "Hit", Unit: "tok"},
+	)
+	moves := dsv3.NewExperimentTable("KV tier traffic",
+		dsv3.ExperimentColumn{Name: "Rate", Unit: "req/s"},
+		dsv3.ExperimentColumn{Name: "Tier"},
+		dsv3.ExperimentColumn{Name: "In", Unit: "GB"},
+		dsv3.ExperimentColumn{Name: "Out", Unit: "GB"},
+	)
+	for _, p := range pts {
+		r := p.Report
+		if len(r.KVTierMoves) == 0 {
+			continue
+		}
+		sum.Row(rateCell(p),
+			dsv3.IntCell(r.KVOffloads), dsv3.IntCell(r.KVReloads),
+			dsv3.IntCell(r.TierDemotions), dsv3.IntCell(r.TierDrops),
+			dsv3.FloatCell("%.3f", r.ReloadStall),
+			dsv3.IntCell(r.PrefixHits), dsv3.IntCell(r.PrefixMisses),
+			dsv3.IntCell(r.PrefixHitTokens))
+		for _, m := range r.KVTierMoves {
+			moves.Row(rateCell(p), dsv3.StrCell(m.Tier),
+				dsv3.FloatCell("%.2f", m.BytesIn/1e9), dsv3.FloatCell("%.2f", m.BytesOut/1e9))
+		}
+	}
+	return []*dsv3.ExperimentTable{sum, moves}
 }
 
 // buildFailureTables packs the failure-mode metrics and the per-crash

@@ -60,6 +60,8 @@ type (
 	ExperimentTable = results.Table
 	// ExperimentColumn describes one typed, unit-annotated column.
 	ExperimentColumn = results.Column
+	// ExperimentCell is one typed cell (display text plus raw value).
+	ExperimentCell = results.Cell
 	// ExperimentRunner is one catalogue entry (name, description, runner).
 	ExperimentRunner = experiments.Runner
 	// RunOptions configures a catalogue runner invocation.
@@ -275,11 +277,30 @@ type (
 	ServeRequest      = servesim.Request
 	ServeSLO          = servesim.SLO
 	ServeLatencyModel = servesim.LatencyModel
-	ServeKVConfig     = servesim.KVConfig
 	ServeLengthDist   = servesim.LengthDist
 	ServeSweepPoint   = servesim.SweepPoint
+	// The redesigned config groups: ServeConfig.Fleet owns deployment
+	// shape and routing, ServeConfig.KV the tiered cache hierarchy
+	// (HBM tier 0 plus optional DRAM/flash spill tiers and the prefix
+	// cache), and ServeConfig.Resilience the fault/retry/admission
+	// knobs. Zero values reproduce the legacy flat-config semantics.
+	ServeFleetConfig      = servesim.FleetConfig
+	ServeKVHierarchy      = servesim.KVHierarchy
+	ServeKVTierConfig     = servesim.KVTierConfig
+	ServeResilienceConfig = servesim.ResilienceConfig
+	// ServeTierStat reports bytes moved in/out of one tier
+	// (ServeReport.KVTierMoves; index 0 is HBM).
+	ServeTierStat = servesim.TierStat
+
+	// ServeKVConfig configures one pool tier; ServeConfig.KV.HBM is the
+	// resident tier 0.
+	//
+	// Deprecated: ServeKVConfig now names only a single tier. Configure
+	// the cache through ServeKVHierarchy (ServeConfig.KV), which wraps
+	// the legacy pool as its HBM field.
+	ServeKVConfig = servesim.KVConfig
 	// ServeRouter is the pluggable instance-selection policy interface;
-	// ServeRouterPolicy names the built-ins (ServeConfig.Router), and
+	// ServeRouterPolicy names the built-ins (ServeConfig.Fleet.Router), and
 	// ServeInstanceLoad is the candidate snapshot a router picks over.
 	ServeRouter       = servesim.Router
 	ServeRouterPolicy = servesim.RouterPolicy
@@ -294,8 +315,8 @@ type (
 	// (byte-identical to fresh construction). Not safe for concurrent
 	// use; sweeps thread one per worker.
 	ServeEngine = servesim.Engine
-	// Fault injection and graceful degradation (ServeConfig.Faults /
-	// .Retry / .Admission): a seeded crash/recover/drain schedule plus
+	// Fault injection and graceful degradation (ServeConfig.Resilience
+	// .Faults / .Retry / .Admission): a seeded crash/recover/drain schedule plus
 	// MTBF-style random injection, retry-with-backoff for orphaned
 	// requests, and queue-depth/KV-occupancy admission shedding.
 	// ServeIncident records each crash's blast radius in the report.
@@ -314,6 +335,10 @@ const (
 	ArrivalBursty  = servesim.ArrivalBursty
 	ArrivalDiurnal = servesim.ArrivalDiurnal
 
+	DistFixed     = servesim.DistFixed
+	DistUniform   = servesim.DistUniform
+	DistLogNormal = servesim.DistLogNormal
+
 	RouteLeastKV       = servesim.RouteLeastKV
 	RouteRoundRobin    = servesim.RouteRoundRobin
 	RoutePowerOfTwo    = servesim.RoutePowerOfTwo
@@ -322,6 +347,10 @@ const (
 	FaultCrash   = servesim.FaultCrash
 	FaultRecover = servesim.FaultRecover
 	FaultDrain   = servesim.FaultDrain
+
+	// DefaultServeChunkTokens is the offload/prefix-cache chunk
+	// granularity used when ServeConfig.KV.ChunkTokens is zero.
+	DefaultServeChunkTokens = servesim.DefaultChunkTokens
 )
 
 var (
@@ -341,6 +370,11 @@ var (
 	DefaultServeRetryPolicy     = servesim.DefaultRetryPolicy
 	ParseServeFaultEvents       = servesim.ParseFaultEvents
 	ParseServeAdmissionPolicy   = servesim.ParseAdmissionPolicy
+	// ParseServeKVTiers parses a "/"-separated KV tier spec
+	// ("name=dram,cap=8,read=24,write=16,lat=0.05/...") into the spill
+	// tiers of a ServeKVHierarchy — the format behind dsv3serve's
+	// -kv-tiers flag.
+	ParseServeKVTiers = servesim.ParseKVTiers
 )
 
 // Training (Table 4).
@@ -458,4 +492,15 @@ var (
 	ServeShedStudyResult    = experiments.ShedStudyResult
 	RenderServeFailure      = experiments.RenderFailureStudy
 	RenderServeShed         = experiments.RenderShedStudy
+)
+
+// Tiered-KV study: the capacity/TTFT frontier of DRAM/flash KV offload
+// plus prefix caching vs recompute preemption under multi-turn session
+// traffic (serve-kvtier catalogue entry).
+type ServeKVTierStudyPoint = experiments.KVTierStudyPoint
+
+var (
+	ServeKVTierStudy       = experiments.KVTierStudy
+	ServeKVTierStudyResult = experiments.KVTierStudyResult
+	RenderServeKVTier      = experiments.RenderKVTierStudy
 )

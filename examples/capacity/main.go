@@ -18,7 +18,7 @@ func main() {
 	// A KV-constrained reference fleet: 2 prefill + 4 decode instances
 	// with 0.4 GB of KV per decode instance, so placement matters.
 	cfg := dsv3.V3ServeConfig()
-	cfg.KV.CapacityBytes = 0.4e9
+	cfg.KV.HBM.CapacityBytes = 0.4e9
 	workload := dsv3.ServeWorkload{
 		Arrival:  dsv3.ArrivalPoisson,
 		Requests: 250,
@@ -49,7 +49,7 @@ func main() {
 	// cache pressure across decode instances, round-robin ignores it.
 	for _, policy := range dsv3.ServeRouterPolicies() {
 		c := cfg
-		c.Router = policy
+		c.Fleet.Router = policy
 		r, err := planner.Find(c, workload)
 		if err != nil {
 			log.Fatal(err)

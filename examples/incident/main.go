@@ -20,7 +20,7 @@ func main() {
 	// The same KV-constrained reference fleet as examples/capacity,
 	// lightly loaded so the incident — not saturation — dominates.
 	cfg := dsv3.V3ServeConfig()
-	cfg.KV.CapacityBytes = 0.4e9
+	cfg.KV.HBM.CapacityBytes = 0.4e9
 	cfg.Seed = 1
 	workload := dsv3.ServeWorkload{
 		Arrival:    dsv3.ArrivalPoisson,
@@ -34,7 +34,7 @@ func main() {
 	// batch is orphaned and its KV pool wiped — and is repaired at
 	// t=14s. The schedule is part of the config, so the replay is
 	// deterministic: same seed, same incident, same report.
-	cfg.Faults = &dsv3.ServeFaultPlan{
+	cfg.Resilience.Faults = &dsv3.ServeFaultPlan{
 		Events: []dsv3.ServeFaultEvent{
 			{At: 6, Kind: dsv3.FaultCrash, Instance: 1},
 			{At: 14, Kind: dsv3.FaultRecover, Instance: 1},
@@ -53,7 +53,7 @@ func main() {
 	// re-queues orphans through dispatch: failures become retries, at
 	// the cost of retry amplification — extra prefill traffic on the
 	// survivors.
-	cfg.Retry = dsv3.DefaultServeRetryPolicy()
+	cfg.Resilience.Retry = dsv3.DefaultServeRetryPolicy()
 	rep, err = dsv3.RunServe(cfg, workload)
 	if err != nil {
 		log.Fatal(err)
@@ -67,7 +67,7 @@ func main() {
 	fmt.Println("\nblast radius by router:")
 	for _, policy := range dsv3.ServeRouterPolicies() {
 		c := cfg
-		c.Router = policy
+		c.Fleet.Router = policy
 		r, err := dsv3.RunServe(c, workload)
 		if err != nil {
 			log.Fatal(err)
@@ -84,12 +84,12 @@ func main() {
 	over := workload
 	over.RatePerSec = 12.5
 	c := cfg
-	c.Faults, c.Retry = nil, dsv3.ServeRetryPolicy{}
+	c.Resilience.Faults, c.Resilience.Retry = nil, dsv3.ServeRetryPolicy{}
 	base, err := dsv3.RunServe(c, over)
 	if err != nil {
 		log.Fatal(err)
 	}
-	c.Admission = dsv3.ServeAdmissionPolicy{MaxQueueDepth: 24}
+	c.Resilience.Admission = dsv3.ServeAdmissionPolicy{MaxQueueDepth: 24}
 	shed, err := dsv3.RunServe(c, over)
 	if err != nil {
 		log.Fatal(err)

@@ -45,8 +45,8 @@ func main() {
 	// continuous batching must either stall decodes on every prefill
 	// (TPOT interference) or defer prefills (TTFT starvation).
 	colocated := cfg
-	colocated.Colocated = true
-	colocated.PrefillInstances, colocated.DecodeInstances = 2, 4
+	colocated.Fleet.Colocated = true
+	colocated.Fleet.PrefillInstances, colocated.Fleet.DecodeInstances = 2, 4
 	workload.RatePerSec = 8
 	col, err := dsv3.RunServe(colocated, workload)
 	if err != nil {

@@ -21,8 +21,8 @@ func RouterShootout(seed int64, quick bool) ([]servesim.SweepPoint, error) {
 	return parallel.Map(len(arms), func(i int) (servesim.SweepPoint, error) {
 		cfg := servesim.V3ServeConfig()
 		cfg.Seed = seed
-		cfg.KV.CapacityBytes = 2 * units.GB / 5
-		cfg.Router = arms[i]
+		cfg.KV.HBM.CapacityBytes = 2 * units.GB / 5
+		cfg.Fleet.Router = arms[i]
 		rep, err := servesim.Run(cfg, w)
 		if err != nil {
 			return servesim.SweepPoint{}, err
@@ -115,9 +115,9 @@ func CapacityStudy(seed int64, quick bool) ([]CapacityStudyPoint, error) {
 		a := arms[i]
 		cfg := servesim.V3ServeConfig()
 		cfg.Seed = parallel.DeriveSeed(seed, a.shape)
-		cfg.KV.CapacityBytes = 2 * units.GB / 5
-		cfg.PrefillInstances, cfg.DecodeInstances = a.Prefill, a.Decode
-		cfg.Router = a.Policy
+		cfg.KV.HBM.CapacityBytes = 2 * units.GB / 5
+		cfg.Fleet.PrefillInstances, cfg.Fleet.DecodeInstances = a.Prefill, a.Decode
+		cfg.Fleet.Router = a.Policy
 		res, err := planner.Find(cfg, w)
 		if err != nil {
 			return CapacityStudyPoint{}, fmt.Errorf("%s %s: %w", a.Fleet, a.Policy, err)

@@ -25,6 +25,7 @@ const (
 	SeedServeCapacity = 59
 	SeedServeFailure  = 61
 	SeedServeShed     = 67
+	SeedServeKVTier   = 71
 )
 
 // Options configure one catalogue runner invocation.
@@ -159,6 +160,8 @@ func Catalogue() []Runner {
 			func(o Options) (*results.Table, error) { return FailureStudyResult(SeedServeFailure, o.Quick) }),
 		one("serve-shed", "serving: admission shedding under diurnal overload", SeedServeShed,
 			func(o Options) (*results.Table, error) { return ShedStudyResult(SeedServeShed, o.Quick) }),
+		one("serve-kvtier", "serving: tiered KV offload + prefix cache capacity frontier", SeedServeKVTier,
+			func(o Options) (*results.Table, error) { return KVTierStudyResult(SeedServeKVTier, o.Quick) }),
 	}
 }
 

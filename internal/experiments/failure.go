@@ -35,10 +35,10 @@ func FailureStudy(seed int64, quick bool) ([]servesim.SweepPoint, error) {
 	return parallel.Map(len(arms), func(i int) (servesim.SweepPoint, error) {
 		cfg := servesim.V3ServeConfig()
 		cfg.Seed = seed
-		cfg.KV.CapacityBytes = 2 * units.GB / 5
-		cfg.Router = arms[i]
-		cfg.Faults = failurePlan()
-		cfg.Retry = servesim.DefaultRetryPolicy()
+		cfg.KV.HBM.CapacityBytes = 2 * units.GB / 5
+		cfg.Fleet.Router = arms[i]
+		cfg.Resilience.Faults = failurePlan()
+		cfg.Resilience.Retry = servesim.DefaultRetryPolicy()
 		rep, err := servesim.Run(cfg, w)
 		if err != nil {
 			return servesim.SweepPoint{}, err
@@ -105,8 +105,8 @@ func ShedStudy(seed int64, quick bool) ([]servesim.SweepPoint, error) {
 	return parallel.Map(len(arms), func(i int) (servesim.SweepPoint, error) {
 		cfg := servesim.V3ServeConfig()
 		cfg.Seed = seed
-		cfg.KV.CapacityBytes = 2 * units.GB / 5
-		cfg.Admission = arms[i].Admission
+		cfg.KV.HBM.CapacityBytes = 2 * units.GB / 5
+		cfg.Resilience.Admission = arms[i].Admission
 		rep, err := servesim.Run(cfg, w)
 		if err != nil {
 			return servesim.SweepPoint{}, err

@@ -88,6 +88,7 @@ func TestParallelSerialParity(t *testing.T) {
 		{"serve-capacity", func() (string, error) { return RenderCapacityStudy(SeedServeCapacity, true) }},
 		{"serve-failure", func() (string, error) { return RenderFailureStudy(SeedServeFailure, true) }},
 		{"serve-shed", func() (string, error) { return RenderShedStudy(SeedServeShed, true) }},
+		{"serve-kvtier", func() (string, error) { return RenderKVTierStudy(SeedServeKVTier, true) }},
 		{"accum", func() (string, error) { return RenderAccumulationAblation(13) }},
 		{"logfmt", func() (string, error) { return RenderLogFMT(17) }},
 		{"nodelimit", func() (string, error) { return RenderNodeLimited(19) }},

@@ -97,12 +97,12 @@ func DisaggRatioStudy(seed int64, quick bool) ([]servesim.SweepPoint, error) {
 		a := arms[i]
 		cfg := servesim.V3ServeConfig()
 		cfg.Seed = parallel.DeriveSeed(seed, i)
-		cfg.KV.CapacityBytes = 2 * units.GB
-		cfg.Colocated = a.Colocated
+		cfg.KV.HBM.CapacityBytes = 2 * units.GB
+		cfg.Fleet.Colocated = a.Colocated
 		if a.Stride > 0 {
-			cfg.ColocatedStride = a.Stride
+			cfg.Fleet.ColocatedStride = a.Stride
 		}
-		cfg.PrefillInstances, cfg.DecodeInstances = a.Prefill, a.Decode
+		cfg.Fleet.PrefillInstances, cfg.Fleet.DecodeInstances = a.Prefill, a.Decode
 		rep, err := servesim.Run(cfg, w)
 		if err != nil {
 			return servesim.SweepPoint{}, err

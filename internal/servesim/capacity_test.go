@@ -95,8 +95,8 @@ func TestCapacityPlannerMonotoneInFleet(t *testing.T) {
 	w := testWorkload(0, 120)
 	small := V3ServeConfig()
 	big := V3ServeConfig()
-	big.PrefillInstances *= 2
-	big.DecodeInstances *= 2
+	big.Fleet.PrefillInstances *= 2
+	big.Fleet.DecodeInstances *= 2
 	rs, err := p.Find(small, w)
 	if err != nil {
 		t.Fatal(err)
@@ -116,7 +116,7 @@ func TestCapacityPlannerUnsustainableFloor(t *testing.T) {
 	p := quickPlanner()
 	p.LoRate, p.HiRate = 64, 128
 	cfg := V3ServeConfig()
-	cfg.PrefillInstances, cfg.DecodeInstances = 1, 1
+	cfg.Fleet.PrefillInstances, cfg.Fleet.DecodeInstances = 1, 1
 	res, err := p.Find(cfg, testWorkload(0, 80))
 	if err != nil {
 		t.Fatal(err)

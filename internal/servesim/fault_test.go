@@ -22,9 +22,9 @@ func crashPlan(inst int, at, repair units.Seconds) *FaultPlan {
 // byte, and a faulted run must differ from the clean one.
 func TestFaultDeterminism(t *testing.T) {
 	cfg := V3ServeConfig()
-	cfg.KV.CapacityBytes = 0.4e9
-	cfg.Faults = crashPlan(1, 6, 14)
-	cfg.Retry = DefaultRetryPolicy()
+	cfg.KV.HBM.CapacityBytes = 0.4e9
+	cfg.Resilience.Faults = crashPlan(1, 6, 14)
+	cfg.Resilience.Retry = DefaultRetryPolicy()
 	w := testWorkload(5, 150)
 	a, err := json.Marshal(mustRun(t, cfg, w))
 	if err != nil {
@@ -38,7 +38,7 @@ func TestFaultDeterminism(t *testing.T) {
 		t.Fatalf("faulted runs diverged:\n%s\n%s", a, b)
 	}
 	clean := cfg
-	clean.Faults = nil
+	clean.Resilience.Faults = nil
 	c, err := json.Marshal(mustRun(t, clean, w))
 	if err != nil {
 		t.Fatal(err)
@@ -52,8 +52,8 @@ func TestFaultDeterminism(t *testing.T) {
 // fault RNG is its own seed stream, untouched by workload and routing.
 func TestRandomFaultDeterminism(t *testing.T) {
 	cfg := V3ServeConfig()
-	cfg.Faults = &FaultPlan{MTBF: 8, MTTR: 2}
-	cfg.Retry = DefaultRetryPolicy()
+	cfg.Resilience.Faults = &FaultPlan{MTBF: 8, MTTR: 2}
+	cfg.Resilience.Retry = DefaultRetryPolicy()
 	w := testWorkload(5, 120)
 	a, err := json.Marshal(mustRun(t, cfg, w))
 	if err != nil {
@@ -73,8 +73,8 @@ func TestRandomFaultDeterminism(t *testing.T) {
 // the incident log and the KV-loss counters.
 func TestCrashBlastRadiusAccounting(t *testing.T) {
 	cfg := V3ServeConfig()
-	cfg.KV.CapacityBytes = 0.4e9
-	cfg.Faults = crashPlan(1, 6, 14)
+	cfg.KV.HBM.CapacityBytes = 0.4e9
+	cfg.Resilience.Faults = crashPlan(1, 6, 14)
 	w := testWorkload(6, 150)
 	r := mustRun(t, cfg, w)
 	if r.Requests != w.Requests {
@@ -108,14 +108,14 @@ func TestCrashBlastRadiusAccounting(t *testing.T) {
 // failed requests, amplification above 1.
 func TestRetrySalvagesOrphans(t *testing.T) {
 	cfg := V3ServeConfig()
-	cfg.KV.CapacityBytes = 0.4e9
-	cfg.Faults = crashPlan(1, 6, 14)
+	cfg.KV.HBM.CapacityBytes = 0.4e9
+	cfg.Resilience.Faults = crashPlan(1, 6, 14)
 	w := testWorkload(6, 150)
 	base := mustRun(t, cfg, w)
 	if base.Failed == 0 {
 		t.Skip("crash orphaned nothing at this seed; accounting covered elsewhere")
 	}
-	cfg.Retry = DefaultRetryPolicy()
+	cfg.Resilience.Retry = DefaultRetryPolicy()
 	r := mustRun(t, cfg, w)
 	if r.Failed != 0 {
 		t.Errorf("failed %d with a 3-retry budget, want 0", r.Failed)
@@ -136,8 +136,8 @@ func TestRetrySalvagesOrphans(t *testing.T) {
 // drained, so load shifts relative to the clean run.
 func TestDrainFinishesHeldWork(t *testing.T) {
 	cfg := V3ServeConfig()
-	cfg.KV.CapacityBytes = 0.4e9
-	cfg.Faults = &FaultPlan{Events: []FaultEvent{
+	cfg.KV.HBM.CapacityBytes = 0.4e9
+	cfg.Resilience.Faults = &FaultPlan{Events: []FaultEvent{
 		{At: 5, Kind: FaultDrain, Instance: 1},
 		{At: 15, Kind: FaultRecover, Instance: 1},
 	}}
@@ -159,10 +159,10 @@ func TestDrainFinishesHeldWork(t *testing.T) {
 // TTFT tail stays below the admit-all run's.
 func TestAdmissionShedsUnderOverload(t *testing.T) {
 	cfg := V3ServeConfig()
-	cfg.KV.CapacityBytes = 0.4e9
+	cfg.KV.HBM.CapacityBytes = 0.4e9
 	w := testWorkload(14, 200)
 	base := mustRun(t, cfg, w)
-	cfg.Admission = AdmissionPolicy{MaxQueueDepth: 16}
+	cfg.Resilience.Admission = AdmissionPolicy{MaxQueueDepth: 16}
 	r := mustRun(t, cfg, w)
 	if r.Shed == 0 {
 		t.Fatal("overloaded run shed nothing at queue cap 16")
@@ -180,8 +180,8 @@ func TestAdmissionShedsUnderOverload(t *testing.T) {
 // orphaned, and without retries they fail deterministically.
 func TestFullyDrainedFleetFailsFast(t *testing.T) {
 	cfg := V3ServeConfig()
-	cfg.PrefillInstances, cfg.DecodeInstances = 1, 2
-	cfg.Faults = &FaultPlan{Events: []FaultEvent{
+	cfg.Fleet.PrefillInstances, cfg.Fleet.DecodeInstances = 1, 2
+	cfg.Resilience.Faults = &FaultPlan{Events: []FaultEvent{
 		{At: 0, Kind: FaultDrain, Instance: 0},
 		{At: 0, Kind: FaultDrain, Instance: 1},
 	}}
@@ -234,21 +234,21 @@ func TestFaultPlanValidate(t *testing.T) {
 	}
 	for i := range bad {
 		cfg := V3ServeConfig()
-		cfg.Faults = &bad[i]
-		if err := cfg.Validate(testWorkload(1, 1)); err == nil {
+		cfg.Resilience.Faults = &bad[i]
+		if err := cfg.Validate(); err == nil {
 			t.Errorf("plan %d validated: %+v", i, bad[i])
 		}
 	}
 	// Colocated fleets have no prefill targets.
 	cfg := V3ServeConfig()
-	cfg.Colocated = true
-	cfg.Faults = &FaultPlan{Events: []FaultEvent{{Kind: FaultCrash, Prefill: true}}}
-	if err := cfg.Validate(testWorkload(1, 1)); err == nil {
+	cfg.Fleet.Colocated = true
+	cfg.Resilience.Faults = &FaultPlan{Events: []FaultEvent{{Kind: FaultCrash, Prefill: true}}}
+	if err := cfg.Validate(); err == nil {
 		t.Error("prefill fault target accepted on a colocated cluster")
 	}
 	// ...but their merged instance space covers prefill+decode.
-	cfg.Faults = &FaultPlan{Events: []FaultEvent{{Kind: FaultCrash, Instance: 5}}}
-	if err := cfg.Validate(testWorkload(1, 1)); err != nil {
+	cfg.Resilience.Faults = &FaultPlan{Events: []FaultEvent{{Kind: FaultCrash, Instance: 5}}}
+	if err := cfg.Validate(); err != nil {
 		t.Errorf("colocated instance 5 of 2P+4D rejected: %v", err)
 	}
 }

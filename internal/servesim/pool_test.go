@@ -37,12 +37,12 @@ func reportJSON(t *testing.T, r *Report) []byte {
 func TestEngineReuseMatchesFresh(t *testing.T) {
 	cfgA := V3ServeConfig()
 	cfgB := V3ServeConfig()
-	cfgB.Colocated = true
+	cfgB.Fleet.Colocated = true
 	cfgB.Seed = 9
 	cfgC := V3ServeConfig()
-	cfgC.Router = RoutePowerOfTwo
-	cfgC.PrefillInstances = 3
-	cfgC.DecodeInstances = 2
+	cfgC.Fleet.Router = RoutePowerOfTwo
+	cfgC.Fleet.PrefillInstances = 3
+	cfgC.Fleet.DecodeInstances = 2
 	runs := []struct {
 		cfg Config
 		w   Workload

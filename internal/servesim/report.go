@@ -97,6 +97,27 @@ type Report struct {
 	PeakKVOccupancy float64
 	MeanKVOccupancy float64
 
+	// Tiered-KV metrics — all zero (and KVTierMoves nil) when
+	// Config.KV.Tiers is empty. KVOffloads counts preemption victims
+	// whose KV moved down-tier instead of recomputing; KVReloads the
+	// transfers back into HBM; TierDemotions/TierDrops the LRU
+	// evictions within the hierarchy; ReloadStall the total time
+	// requests waited on below-HBM transfers beyond overlapped compute.
+	KVOffloads    int
+	KVReloads     int
+	TierDemotions int
+	TierDrops     int
+	ReloadStall   units.Seconds
+	// Prefix-cache accounting: hits/misses count session lookups at
+	// prefill dispatch; PrefixHitTokens is the total prompt tokens
+	// whose prefill was skipped.
+	PrefixHits      int
+	PrefixMisses    int
+	PrefixHitTokens int
+	// KVTierMoves is the per-level traffic (level 0 = HBM, then the
+	// configured tiers in order).
+	KVTierMoves []TierStat
+
 	Timeline []TimelinePoint
 }
 
@@ -120,6 +141,25 @@ func (e *Engine) report() *Report {
 	}
 	if admitted := r.Requests - r.Shed; admitted > 0 {
 		r.RetryAmplification = float64(admitted+r.Retries) / float64(admitted)
+	}
+	if h := &e.hier; h.on {
+		r.KVOffloads = h.offloads
+		r.KVReloads = h.reloads
+		r.TierDemotions = h.demotions
+		r.TierDrops = h.drops
+		r.ReloadStall = h.reloadStall
+		r.PrefixHits = h.hits
+		r.PrefixMisses = h.misses
+		r.PrefixHitTokens = h.hitTokens
+		r.KVTierMoves = make([]TierStat, len(h.bytesIn))
+		r.KVTierMoves[0] = TierStat{Tier: "hbm", BytesIn: h.bytesIn[0], BytesOut: h.bytesOut[0]}
+		for i := range e.cfg.KV.Tiers {
+			r.KVTierMoves[i+1] = TierStat{
+				Tier:     e.cfg.KV.Tiers[i].label(i),
+				BytesIn:  h.bytesIn[i+1],
+				BytesOut: h.bytesOut[i+1],
+			}
+		}
 	}
 	if len(e.samples) > 0 {
 		r.Timeline = append([]TimelinePoint(nil), e.samples...)
@@ -251,8 +291,8 @@ func (e *Engine) inDegraded(t units.Seconds) bool {
 // pre-crash goodput recover instantly, and an incident whose goodput
 // never returns is censored at the makespan.
 func (e *Engine) resolveRecovery(incidents []Incident, goodDone []float64, makespan units.Seconds) {
-	w := e.cfg.Faults.recoveryWindow()
-	band := e.cfg.Faults.recoveryBand()
+	w := e.cfg.Resilience.Faults.recoveryWindow()
+	band := e.cfg.Resilience.Faults.recoveryBand()
 	countIn := func(lo, hi float64) int {
 		return sort.SearchFloat64s(goodDone, hi) - sort.SearchFloat64s(goodDone, lo)
 	}

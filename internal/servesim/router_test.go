@@ -115,8 +115,8 @@ func TestPowerOfTwoDeterministic(t *testing.T) {
 // placement shows up as preemptions and latency differences.
 func routerTestConfig(policy RouterPolicy) Config {
 	cfg := V3ServeConfig()
-	cfg.Router = policy
-	cfg.KV.CapacityBytes = 2 * units.GB
+	cfg.Fleet.Router = policy
+	cfg.KV.HBM.CapacityBytes = 2 * units.GB
 	return cfg
 }
 
@@ -130,7 +130,7 @@ func TestLeastKVIsZeroValueDefault(t *testing.T) {
 	if zero != RouteLeastKV {
 		t.Fatalf("zero-value RouterPolicy is %v, want least-kv", zero)
 	}
-	if got := V3ServeConfig().Router; got != RouteLeastKV {
+	if got := V3ServeConfig().Fleet.Router; got != RouteLeastKV {
 		t.Errorf("V3ServeConfig routes with %v, want least-kv", got)
 	}
 }

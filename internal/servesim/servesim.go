@@ -20,7 +20,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"dsv3/internal/mtp"
 	"dsv3/internal/parallel"
 	"dsv3/internal/stats"
 	"dsv3/internal/units"
@@ -36,137 +35,6 @@ type SLO struct {
 // DefaultSLO returns the evaluation SLO: first token within 1 s, then
 // at least 50 tokens/s sustained.
 func DefaultSLO() SLO { return SLO{TTFT: 1.0, TPOT: 20 * units.Millisecond} }
-
-// Config describes the serving cluster.
-type Config struct {
-	Latency LatencyModel
-
-	// PrefillInstances and DecodeInstances size the disaggregated
-	// deployment. Under Colocated the two pools merge into
-	// PrefillInstances+DecodeInstances unified instances that both
-	// prefill and decode.
-	PrefillInstances int
-	DecodeInstances  int
-	Colocated        bool
-	// ColocatedStride is the minimum number of decode steps a
-	// colocated instance runs between stall-the-world prefills (the
-	// decode-SLO-protecting policy; a prefill also runs whenever the
-	// instance has nothing to decode). Default 4.
-	ColocatedStride int
-
-	// MaxBatch caps the continuous-batching decode batch per instance.
-	MaxBatch int
-	// KV sizes the per-instance paged KV pool.
-	KV KVConfig
-	// TransferBW is the prefill->decode KV migration bandwidth; 0
-	// makes the hand-off instantaneous.
-	TransferBW units.BytesPerSecond
-
-	// MTP enables speculative decoding: each step costs
-	// MTP.StepCost() x the base step and every request draws up to
-	// MTP.Modules extra accepted tokens per step. Nil disables.
-	MTP *mtp.Config
-
-	// Router selects the instance-selection policy applied to both
-	// prefill dispatch and the prefill->decode hand-off. The zero value
-	// (RouteLeastKV) reproduces the historical routing. Colocated
-	// instances pull work from the shared queue themselves, so the
-	// policy has no effect under Colocated.
-	Router RouterPolicy
-
-	// Faults injects instance crash/recover/drain events (scheduled
-	// and/or MTBF-random) into the run; nil disables fault injection
-	// and the engine behaves exactly as a fault-free build.
-	Faults *FaultPlan
-	// Retry governs requests orphaned by crashes; the zero value fails
-	// every orphan immediately (see DefaultRetryPolicy).
-	Retry RetryPolicy
-	// Admission sheds arriving requests under overload (queue-depth /
-	// KV-occupancy gates); the zero value admits everything.
-	Admission AdmissionPolicy
-
-	SLO  SLO
-	Seed int64
-}
-
-// V3ServeConfig returns a small reference deployment: the V3 latency
-// model, 2 prefill + 4 decode instances, batch 64, FP8 paged KV in
-// 64 GB of HBM per instance.
-func V3ServeConfig() Config {
-	l := V3LatencyModel()
-	return Config{
-		Latency:          l,
-		PrefillInstances: 2,
-		DecodeInstances:  4,
-		ColocatedStride:  4,
-		MaxBatch:         64,
-		KV: KVConfig{
-			CapacityBytes: 64 * units.GB,
-			PageTokens:    64,
-			BytesPerElem:  l.KVBytesPerElem,
-		},
-		TransferBW: 50 * units.GB,
-		SLO:        DefaultSLO(),
-		Seed:       1,
-	}
-}
-
-// Validate checks the configuration against a workload.
-func (c Config) Validate(w Workload) error {
-	if err := c.Latency.Validate(); err != nil {
-		return err
-	}
-	if err := c.KV.Validate(); err != nil {
-		return err
-	}
-	if err := w.Validate(); err != nil {
-		return err
-	}
-	if c.MaxBatch <= 0 {
-		return fmt.Errorf("servesim: max batch must be positive, got %d", c.MaxBatch)
-	}
-	if c.PrefillInstances < 0 || c.DecodeInstances < 0 {
-		return fmt.Errorf("servesim: negative instance counts %d+%d", c.PrefillInstances, c.DecodeInstances)
-	}
-	if c.Colocated {
-		if c.PrefillInstances+c.DecodeInstances <= 0 {
-			return fmt.Errorf("servesim: colocated cluster needs at least one instance")
-		}
-	} else if c.PrefillInstances <= 0 || c.DecodeInstances <= 0 {
-		return fmt.Errorf("servesim: disaggregated cluster needs prefill and decode instances, got %d+%d",
-			c.PrefillInstances, c.DecodeInstances)
-	}
-	if c.MTP != nil {
-		if err := c.MTP.Validate(); err != nil {
-			return err
-		}
-	}
-	if err := c.Router.Validate(); err != nil {
-		return err
-	}
-	if err := c.Retry.Validate(); err != nil {
-		return err
-	}
-	if err := c.Admission.Validate(); err != nil {
-		return err
-	}
-	if c.Faults != nil {
-		nPrefill, nDecode := c.PrefillInstances, c.DecodeInstances
-		if c.Colocated {
-			nPrefill, nDecode = 0, c.PrefillInstances+c.DecodeInstances
-		}
-		if err := c.Faults.validate(nPrefill, nDecode, c.Colocated); err != nil {
-			return err
-		}
-	}
-	// A single worst-case request must fit in one instance's KV pool,
-	// or preemption could livelock with no victim to evict.
-	total := c.KV.TotalPages(c.Latency.Model)
-	if need := c.KV.PagesFor(w.maxContextTokens()); need > total {
-		return fmt.Errorf("servesim: KV pool (%d pages) cannot hold one worst-case request (%d pages)", total, need)
-	}
-	return nil
-}
 
 // Event kinds, processed in (time, seq) order.
 type eventKind int
@@ -186,6 +54,9 @@ const (
 	// evRetry re-enters an orphaned request into prefill dispatch after
 	// its backoff.
 	evRetry
+	// evReloadDone lands an offloaded request's KV back in HBM: the
+	// request joins its instance's batch (tiered hierarchy only).
+	evReloadDone
 )
 
 type event struct {
@@ -274,6 +145,9 @@ type reqState struct {
 	firstToken units.Seconds
 	done       units.Seconds
 	admitSeq   int // admission order on the decode instance (preemption priority)
+	// entry is 1 + the request's offEntry index while its KV lives in a
+	// below-HBM tier (0 = none).
+	entry int
 	// preemptMark carries the engine's step generation when this request
 	// was chosen as a preemption victim — the allocation-free stand-in
 	// for the per-step victim set.
@@ -306,8 +180,12 @@ type prefillUnit struct {
 
 // decodeUnit is one decode (or colocated) instance.
 type decodeUnit struct {
-	active   []*reqState
-	pending  fifo // landed, waiting for batch slot + KV pages
+	active  []*reqState
+	pending fifo // landed, waiting for batch slot + KV pages
+	// reloads holds admitted requests whose offloaded KV is in flight
+	// back to HBM; they occupy batch slots and pages but do not step
+	// until evReloadDone.
+	reloads  []*reqState
 	kv       kvPool
 	stepping bool
 	epoch    int
@@ -324,6 +202,8 @@ type decodeUnit struct {
 func (d *decodeUnit) reset(kv kvPool) {
 	clearPtrs(d.active)
 	d.active = d.active[:0]
+	clearPtrs(d.reloads)
+	d.reloads = d.reloads[:0]
 	d.pending.reset()
 	d.kv = kv
 	d.stepping = false
@@ -406,6 +286,7 @@ type Engine struct {
 	mtpFactor float64
 	lc        latConsts // per-run latency constants (see LatencyModel.consts)
 	markGen   int       // preemption-victim generation (see reqState.preemptMark)
+	hier      hierState // below-HBM tier state (zero when KV.Tiers is empty)
 
 	// Fault-injection state. The fault RNG is its own reseedable stream
 	// (seed stream 4), so injected randomness never perturbs the
@@ -464,10 +345,13 @@ func Run(cfg Config, w Workload) (*Report, error) {
 
 // Run simulates the workload, reusing the engine's buffers.
 func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
-	if cfg.ColocatedStride <= 0 {
-		cfg.ColocatedStride = 4
+	if cfg.Fleet.ColocatedStride <= 0 {
+		cfg.Fleet.ColocatedStride = 4
 	}
-	if err := cfg.Validate(w); err != nil {
+	if len(cfg.KV.Tiers) > 0 && cfg.KV.ChunkTokens <= 0 {
+		cfg.KV.ChunkTokens = DefaultChunkTokens
+	}
+	if err := cfg.validateRun(w); err != nil {
 		return nil, err
 	}
 	e.reqs = w.generateInto(parallel.DeriveSeed(cfg.Seed, 0), e.reqs)
@@ -479,9 +363,10 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 	// fault plan) cannot perturb speculative decoding.
 	e.cfg = cfg
 	e.reseed(parallel.DeriveSeed(cfg.Seed, 1))
-	e.prefillRouter = NewRouter(cfg.Router, parallel.DeriveSeed(cfg.Seed, 2))
-	e.decodeRouter = NewRouter(cfg.Router, parallel.DeriveSeed(cfg.Seed, 3))
+	e.prefillRouter = NewRouter(cfg.Fleet.Router, parallel.DeriveSeed(cfg.Seed, 2))
+	e.decodeRouter = NewRouter(cfg.Fleet.Router, parallel.DeriveSeed(cfg.Seed, 3))
 	e.lc = cfg.Latency.consts()
+	e.resetHier()
 	e.now = 0
 	e.seq = 0
 	e.heap = e.heap[:0]
@@ -504,11 +389,7 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 	if cfg.MTP != nil {
 		e.mtpFactor = cfg.MTP.StepCost()
 	}
-	nPrefill, nDecode := cfg.PrefillInstances, cfg.DecodeInstances
-	if cfg.Colocated {
-		nDecode = cfg.PrefillInstances + cfg.DecodeInstances
-		nPrefill = 0
-	}
+	nPrefill, nDecode := cfg.Fleet.shape()
 	if cap(e.prefills) < nPrefill {
 		e.prefills = make([]prefillUnit, nPrefill)
 	}
@@ -522,7 +403,7 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 		e.decodes = next
 	}
 	e.decodes = e.decodes[:nDecode]
-	kv := kvPool{cfg: cfg.KV, total: cfg.KV.TotalPages(cfg.Latency.Model)}
+	kv := kvPool{cfg: cfg.KV.HBM, total: cfg.KV.HBM.TotalPages(cfg.Latency.Model)}
 	for i := range e.decodes {
 		e.decodes[i].reset(kv)
 	}
@@ -545,7 +426,7 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 		e.arena[i] = reqState{Request: reqs[i]}
 		e.schedule(reqs[i].Arrival, evArrival, 0, &e.arena[i])
 	}
-	if plan := cfg.Faults; plan != nil {
+	if plan := cfg.Resilience.Faults; plan != nil {
 		e.faultReseed(parallel.DeriveSeed(cfg.Seed, 4))
 		for i := range plan.Events {
 			e.schedule(plan.Events[i].At, evFaultPlanned, i, nil)
@@ -587,7 +468,7 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 				return nil, err
 			}
 		case evFaultPlanned:
-			fe := cfg.Faults.Events[ev.inst]
+			fe := cfg.Resilience.Faults.Events[ev.inst]
 			e.applyFault(fe.Kind, fe.Prefill, fe.Instance)
 		case evFaultRandom:
 			e.randomCrash()
@@ -602,6 +483,11 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 			req.resumed = req.generated > 0
 			req.ctx = req.ctxForPrefill()
 			e.prefillQ.push(req)
+		case evReloadDone:
+			if e.decodes[ev.inst].epoch != ev.epoch {
+				break // scheduled by a crashed incarnation
+			}
+			e.reloadDone(ev.inst, ev.req)
 		}
 		e.dispatch()
 		// Every request resolved: only maintenance events (fault
@@ -640,7 +526,7 @@ func (e *Engine) scheduleEpoch(at units.Seconds, kind eventKind, inst, epoch int
 // high — the graceful-degradation gate that keeps admitted requests'
 // latency bounded under overload.
 func (e *Engine) shouldShed() bool {
-	a := e.cfg.Admission
+	a := e.cfg.Resilience.Admission
 	if !a.enabled() {
 		return false
 	}
@@ -669,7 +555,7 @@ func (e *Engine) shouldShed() bool {
 // pull from the shared queue themselves (startStep), so only the fixed
 // scan order applies there. Every path is deterministic.
 func (e *Engine) dispatch() {
-	if e.cfg.Colocated {
+	if e.cfg.Fleet.Colocated {
 		for i := range e.decodes {
 			if e.prefillQ.len() == 0 {
 				return
@@ -696,7 +582,7 @@ func (e *Engine) dispatch() {
 		p := &e.prefills[inst]
 		p.busy = true
 		p.cur = req
-		e.scheduleEpoch(e.now+e.cfg.Latency.prefillTime(e.lc, req.ctxForPrefill()), evPrefillDone, inst, p.epoch, req)
+		e.scheduleEpoch(e.now+e.prefillCost(req), evPrefillDone, inst, p.epoch, req)
 	}
 	e.loads = idle[:0]
 }
@@ -712,7 +598,7 @@ func (r *reqState) ctxForPrefill() int {
 // KV moves to a decode instance.
 func (e *Engine) prefillDone(ev *event) {
 	req := ev.req
-	if e.cfg.Colocated {
+	if e.cfg.Fleet.Colocated {
 		if e.decodes[ev.inst].epoch != ev.epoch {
 			return // the instance crashed mid-prefill; req was orphaned then
 		}
@@ -754,8 +640,8 @@ func (e *Engine) prefillDone(ev *event) {
 	best := loads[e.decodeRouter.Pick(loads)].Instance
 	e.loads = loads[:0]
 	var transfer units.Seconds
-	if e.cfg.TransferBW > 0 {
-		transfer = e.cfg.Latency.kvBytesForContext(e.lc, req.ctx) / e.cfg.TransferBW
+	if e.cfg.Fleet.TransferBW > 0 {
+		transfer = e.cfg.Latency.kvBytesForContext(e.lc, req.ctx) / e.cfg.Fleet.TransferBW
 	}
 	e.schedule(e.now+transfer, evDecodeLand, best, req)
 }
@@ -772,6 +658,7 @@ func (e *Engine) emitFirstToken(req *reqState) {
 func (e *Engine) complete(req *reqState) {
 	req.done = e.now
 	e.completed = append(e.completed, req)
+	e.prefixStore(req)
 }
 
 // startStep begins the next unit of work on a decode instance: for a
@@ -780,22 +667,22 @@ func (e *Engine) complete(req *reqState) {
 func (e *Engine) startStep(inst int) {
 	d := &e.decodes[inst]
 
-	if e.cfg.Colocated && d.health == healthUp && e.prefillQ.len() > 0 && len(d.active) < e.cfg.MaxBatch &&
-		(len(d.active) == 0 || d.sincePrefill >= e.cfg.ColocatedStride) {
+	if e.cfg.Fleet.Colocated && d.health == healthUp && e.prefillQ.len() > 0 && len(d.active) < e.cfg.Fleet.MaxBatch &&
+		(len(d.active) == 0 || d.sincePrefill >= e.cfg.Fleet.ColocatedStride) {
 		req := e.prefillQ.peek()
 		// A colocated request decodes in place, so reserve its full
 		// final context up front (conservative policy: a stall-the-
 		// world prefill must never later become an unpreemptable
 		// grower). If the pool is full the prefill waits for
 		// completions to free pages.
-		pages := e.cfg.KV.PagesFor(req.PromptTokens + req.OutputTokens)
+		pages := e.cfg.KV.HBM.PagesFor(req.PromptTokens + req.OutputTokens)
 		if d.kv.tryAlloc(pages) {
 			e.prefillQ.pop()
 			req.pages = pages
 			d.prefilling = true
 			d.prefillReq = req
 			e.notePeakOcc()
-			e.scheduleEpoch(e.now+e.cfg.Latency.prefillTime(e.lc, req.ctxForPrefill()), evPrefillDone, inst, d.epoch, req)
+			e.scheduleEpoch(e.now+e.prefillCost(req), evPrefillDone, inst, d.epoch, req)
 			return
 		}
 	}
@@ -806,14 +693,33 @@ func (e *Engine) startStep(inst int) {
 	// join the batch directly from their stall-the-world prefill
 	// (colocatedPrefillDone), so d.pending is never populated under
 	// Colocated.
-	if !e.cfg.Colocated {
-		for len(d.active) < e.cfg.MaxBatch && d.pending.len() > 0 {
+	if !e.cfg.Fleet.Colocated {
+		for len(d.active)+len(d.reloads) < e.cfg.Fleet.MaxBatch && d.pending.len() > 0 {
 			req := d.pending.peek()
-			pages := e.cfg.KV.PagesFor(req.ctx)
+			if req.entry != 0 && e.hier.entries[req.entry-1].dropped {
+				// The offloaded chunks were evicted off the bottom tier
+				// while the request queued: recompute preemption after
+				// all, exactly as if the tiers were absent.
+				d.pending.pop()
+				e.hier.forget(req)
+				req.resumed = true
+				req.preempted++
+				e.preempts++
+				req.ctx = req.ctxForPrefill()
+				e.prefillQ.push(req)
+				continue
+			}
+			pages := e.cfg.KV.HBM.PagesFor(req.ctx)
 			if !d.kv.tryAlloc(pages) {
 				break
 			}
 			req.pages = pages
+			if req.entry != 0 {
+				d.pending.pop()
+				e.notePeakOcc()
+				e.startReload(inst, req)
+				continue
+			}
 			d.admitCounter++
 			req.admitSeq = d.admitCounter
 			d.pending.pop()
@@ -909,7 +815,7 @@ func (e *Engine) stepDone(inst int) error {
 		if req.preemptMark == gen {
 			continue
 		}
-		if need := e.cfg.KV.PagesFor(req.ctx) - req.pages; need > 0 {
+		if need := e.cfg.KV.HBM.PagesFor(req.ctx) - req.pages; need > 0 {
 			for !d.kv.tryAlloc(need) {
 				victim := e.pickVictim(d, req, gen)
 				if victim == nil {
@@ -929,6 +835,12 @@ func (e *Engine) stepDone(inst int) error {
 		keep := d.active[:0]
 		for _, req := range d.active {
 			if req.preemptMark == gen {
+				if e.offloadVictim(d, req) {
+					// The victim's KV moved down the hierarchy intact;
+					// it waits in the landing queue for pages and a
+					// reload instead of recomputing.
+					continue
+				}
 				// Recompute-style preemption: pages are gone, the
 				// request re-prefills prompt + generated tokens, then
 				// resumes.
@@ -1047,7 +959,7 @@ func (e *Engine) applyFault(kind FaultKind, prefill bool, inst int) {
 // re-arms the next crash. All draws come from the fault stream in a
 // fixed order, so the schedule is a pure function of the seed.
 func (e *Engine) randomCrash() {
-	plan := e.cfg.Faults
+	plan := e.cfg.Resilience.Faults
 	n := len(e.prefills) + len(e.decodes)
 	pick := e.faultRng.Intn(n)
 	var repair units.Seconds
@@ -1107,6 +1019,15 @@ func (e *Engine) crashDecode(inst int) {
 	}
 	clearPtrs(d.active)
 	d.active = d.active[:0]
+	for _, req := range d.reloads {
+		// In-flight reloads hold pages on the crashed pool and count as
+		// KV-resident context lost.
+		inc.Orphaned++
+		inc.KVTokensLost += req.ctx
+		e.orphan(req)
+	}
+	clearPtrs(d.reloads)
+	d.reloads = d.reloads[:0]
 	for d.pending.len() > 0 {
 		// Landed requests hold no pages yet; they are affected but add
 		// no KV loss.
@@ -1136,15 +1057,16 @@ func (e *Engine) crashDecode(inst int) {
 // wholesale), so a retried request re-prefills its whole context —
 // recompute, exactly like a preemption victim.
 func (e *Engine) orphan(req *reqState) {
+	e.hier.forget(req)
 	req.pages = 0
 	e.affected++
-	if req.retries < e.cfg.Retry.MaxRetries {
+	if req.retries < e.cfg.Resilience.Retry.MaxRetries {
 		if req.retries == 0 {
 			e.retried++
 		}
 		req.retries++
 		e.retries++
-		e.schedule(e.now+e.cfg.Retry.delay(req.retries), evRetry, 0, req)
+		e.schedule(e.now+e.cfg.Resilience.Retry.delay(req.retries), evRetry, 0, req)
 		return
 	}
 	req.done = e.now

@@ -192,7 +192,7 @@ func TestKVConfigPaging(t *testing.T) {
 // eviction; every request must still complete, via recompute.
 func TestPreemptionUnderKVPressure(t *testing.T) {
 	cfg := V3ServeConfig()
-	cfg.PrefillInstances, cfg.DecodeInstances = 1, 1
+	cfg.Fleet.PrefillInstances, cfg.Fleet.DecodeInstances = 1, 1
 	w := Workload{
 		Arrival:    ArrivalPoisson,
 		RatePerSec: 20,
@@ -200,9 +200,9 @@ func TestPreemptionUnderKVPressure(t *testing.T) {
 		Prompt:     Fixed(512),
 		Output:     Fixed(512),
 	}
-	perToken := cfg.Latency.Model.KVCacheBytesPerToken(cfg.KV.BytesPerElem)
+	perToken := cfg.Latency.Model.KVCacheBytesPerToken(cfg.KV.HBM.BytesPerElem)
 	// Room for ~1.5 worst-case contexts: admission succeeds, growth evicts.
-	cfg.KV.CapacityBytes = perToken * 1024 * 1.5
+	cfg.KV.HBM.CapacityBytes = perToken * 1024 * 1.5
 	rep := mustRun(t, cfg, w)
 	if rep.Preemptions == 0 {
 		t.Error("expected preemptions under KV pressure")
@@ -218,7 +218,7 @@ func TestPreemptionUnderKVPressure(t *testing.T) {
 // Too-small pools must be rejected up front rather than livelocking.
 func TestValidateRejectsImpossibleKV(t *testing.T) {
 	cfg := V3ServeConfig()
-	cfg.KV.CapacityBytes = 1 << 20
+	cfg.KV.HBM.CapacityBytes = 1 << 20
 	_, err := Run(cfg, testWorkload(5, 10))
 	if err == nil || !strings.Contains(err.Error(), "worst-case request") {
 		t.Fatalf("want worst-case KV error, got %v", err)
@@ -232,20 +232,20 @@ func TestValidateRejectsImpossibleKV(t *testing.T) {
 func TestDisaggregationImprovesTTFTWithoutTPOTRegression(t *testing.T) {
 	w := testWorkload(12, 400)
 	base := V3ServeConfig()
-	base.KV.CapacityBytes = 2 * units.GB
+	base.KV.HBM.CapacityBytes = 2 * units.GB
 
 	protective := base
-	protective.Colocated = true
-	protective.ColocatedStride = 128
-	protective.PrefillInstances, protective.DecodeInstances = 4, 4
+	protective.Fleet.Colocated = true
+	protective.Fleet.ColocatedStride = 128
+	protective.Fleet.PrefillInstances, protective.Fleet.DecodeInstances = 4, 4
 
 	aggressive := base
-	aggressive.Colocated = true
-	aggressive.ColocatedStride = 4
-	aggressive.PrefillInstances, aggressive.DecodeInstances = 4, 4
+	aggressive.Fleet.Colocated = true
+	aggressive.Fleet.ColocatedStride = 4
+	aggressive.Fleet.PrefillInstances, aggressive.Fleet.DecodeInstances = 4, 4
 
 	disagg := base
-	disagg.PrefillInstances, disagg.DecodeInstances = 4, 4
+	disagg.Fleet.PrefillInstances, disagg.Fleet.DecodeInstances = 4, 4
 
 	prot := mustRun(t, protective, w)
 	aggr := mustRun(t, aggressive, w)
@@ -313,7 +313,7 @@ func TestMTPSpeculativeDecoding(t *testing.T) {
 // mid-run and biased MeanKVOccupancy toward the warm-up window.
 func TestTimelineCoversOverloadedMakespan(t *testing.T) {
 	cfg := V3ServeConfig()
-	cfg.PrefillInstances, cfg.DecodeInstances = 1, 1
+	cfg.Fleet.PrefillInstances, cfg.Fleet.DecodeInstances = 1, 1
 	w := Workload{
 		Arrival:    ArrivalPoisson,
 		RatePerSec: 100,

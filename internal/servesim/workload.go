@@ -22,6 +22,12 @@ type Request struct {
 	// tokens to generate (>= 1; the first one is emitted by prefill).
 	PromptTokens int
 	OutputTokens int
+	// Session groups multi-turn conversation requests (0 = sessionless);
+	// Turn is the request's 0-based index within its session. Later
+	// turns' prompts contain the grown conversation prefix, which the
+	// prefix cache (KVHierarchy.PrefixCache) can skip re-prefetching.
+	Session int
+	Turn    int
 }
 
 // DistKind selects a token-length distribution.
@@ -179,11 +185,34 @@ type Workload struct {
 	// Trace is replayed verbatim under ArrivalTrace (sorted by arrival;
 	// the other fields above are ignored).
 	Trace []Request
+
+	// Turns > 1 generates multi-turn sessions instead of independent
+	// requests: the arrival process paces session starts, each session
+	// runs Turns requests, and every later turn's prompt contains the
+	// full prior context (previous prompt + output) plus a fresh
+	// Prompt-sampled user message — the grown prefix a prefix cache can
+	// reuse. 0 or 1 means independent single-turn requests.
+	Turns int
+	// ThinkTime is the mean exponential user think time between a
+	// session's turns (ignored for Turns <= 1; 0 means back-to-back
+	// turns). Turn gaps are open-loop — measured from the previous
+	// turn's arrival, not its completion — so offered traffic stays a
+	// pure function of the workload.
+	ThinkTime units.Seconds
 }
 
 // Validate checks the workload.
 func (w Workload) Validate() error {
+	if w.Turns < 0 {
+		return fmt.Errorf("servesim: negative session turns %d", w.Turns)
+	}
+	if w.ThinkTime < 0 {
+		return fmt.Errorf("servesim: negative think time %v", w.ThinkTime)
+	}
 	if w.Arrival == ArrivalTrace {
+		if w.Turns > 1 {
+			return fmt.Errorf("servesim: trace workloads cannot generate sessions (Turns=%d); encode sessions in the trace", w.Turns)
+		}
 		if len(w.Trace) == 0 {
 			return fmt.Errorf("servesim: trace workload with empty trace")
 		}
@@ -215,7 +244,9 @@ func (w Workload) Validate() error {
 }
 
 // maxContextTokens returns the worst-case final context length
-// (prompt + output) of any single request.
+// (prompt + output) of any single request. Multi-turn sessions grow
+// the prompt by the full prior context each turn, so the final turn
+// bounds the whole session.
 func (w Workload) maxContextTokens() int {
 	if w.Arrival == ArrivalTrace {
 		m := 0
@@ -226,7 +257,11 @@ func (w Workload) maxContextTokens() int {
 		}
 		return m
 	}
-	return w.Prompt.MaxTokens() + w.Output.MaxTokens()
+	perTurn := w.Prompt.MaxTokens() + w.Output.MaxTokens()
+	if w.Turns > 1 {
+		return perTurn * w.Turns
+	}
+	return perTurn
 }
 
 // Generate materializes the request stream. All randomness comes from
@@ -255,6 +290,41 @@ func (w Workload) generateInto(seed int64, buf []Request) []Request {
 	out := buf[:0]
 	if cap(out) < w.Requests {
 		out = make([]Request, 0, w.Requests)
+	}
+	if w.Turns > 1 {
+		// Multi-turn sessions: the arrival process paces session starts;
+		// each turn's prompt carries the full prior context plus a fresh
+		// user message, and turn gaps are exponential think times. The
+		// interleaved stream is re-sorted by arrival and renumbered, like
+		// a trace.
+		var t units.Seconds
+		session := 0
+		for len(out) < w.Requests {
+			session++
+			t = step(t)
+			at := t
+			ctx := 0
+			for turn := 0; turn < w.Turns && len(out) < w.Requests; turn++ {
+				if turn > 0 && w.ThinkTime > 0 {
+					at += rng.ExpFloat64() * w.ThinkTime
+				}
+				prompt := ctx + w.Prompt.Sample(rng)
+				output := w.Output.Sample(rng)
+				out = append(out, Request{
+					Arrival:      at,
+					PromptTokens: prompt,
+					OutputTokens: output,
+					Session:      session,
+					Turn:         turn,
+				})
+				ctx = prompt + output
+			}
+		}
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
+		for i := range out {
+			out[i].ID = i
+		}
+		return out
 	}
 	var t units.Seconds
 	for i := 0; i < w.Requests; i++ {

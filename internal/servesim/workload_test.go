@@ -3,8 +3,11 @@ package servesim
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
+
+	"dsv3/internal/units"
 )
 
 func testRNG() *rand.Rand { return rand.New(rand.NewSource(1)) }
@@ -196,5 +199,103 @@ func TestWorkloadValidate(t *testing.T) {
 		if err := w.Validate(); err == nil {
 			t.Errorf("case %d: want validation error for %+v", i, w)
 		}
+	}
+}
+
+// TestSingleTurnGenerationUnchanged: Turns <= 1 must take the legacy
+// generation path exactly — same draws, same stream order — so every
+// existing seeded workload is untouched by the session machinery.
+func TestSingleTurnGenerationUnchanged(t *testing.T) {
+	base := Workload{Arrival: ArrivalPoisson, RatePerSec: 5, Requests: 200, Prompt: LogNormal(512, 0.5), Output: LogNormal(256, 0.5)}
+	for _, turns := range []int{0, 1} {
+		w := base
+		w.Turns = turns
+		w.ThinkTime = 3 // ignored for Turns <= 1
+		got := w.Generate(11)
+		want := base.Generate(11)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Turns=%d changed single-turn generation", turns)
+		}
+	}
+}
+
+// TestMultiTurnGenerationShape pins the session structure: sessions
+// numbered from 1, turns indexed from 0, each later turn's prompt
+// equal to the session's full prior context plus a fresh user message,
+// and the stream sorted by arrival with sequential IDs.
+func TestMultiTurnGenerationShape(t *testing.T) {
+	w := Workload{
+		Arrival: ArrivalPoisson, RatePerSec: 2, Requests: 120,
+		Prompt: LengthDist{Kind: DistUniform, Mean: 256, Min: 192, Max: 320},
+		Output: LengthDist{Kind: DistUniform, Mean: 128, Min: 96, Max: 160},
+		Turns:  3, ThinkTime: 2,
+	}
+	reqs := w.Generate(5)
+	if len(reqs) != 120 {
+		t.Fatalf("generated %d requests", len(reqs))
+	}
+	type turnRec struct {
+		prompt, output int
+		arrival        units.Seconds
+	}
+	sessions := map[int][]turnRec{}
+	for i, r := range reqs {
+		if r.ID != i {
+			t.Fatal("IDs not sequential in arrival order")
+		}
+		if i > 0 && r.Arrival < reqs[i-1].Arrival {
+			t.Fatal("arrivals not monotone")
+		}
+		if r.Session <= 0 {
+			t.Fatalf("request %d has no session", i)
+		}
+		if len(sessions[r.Session]) != r.Turn {
+			t.Fatalf("session %d turn %d seen out of order", r.Session, r.Turn)
+		}
+		sessions[r.Session] = append(sessions[r.Session], turnRec{r.PromptTokens, r.OutputTokens, r.Arrival})
+	}
+	grown := false
+	for sess, turns := range sessions {
+		ctx := 0
+		for i, tr := range turns {
+			fresh := tr.prompt - ctx
+			if fresh < w.Prompt.Min || fresh > w.Prompt.Max {
+				t.Fatalf("session %d turn %d: fresh prompt %d outside [%d,%d] (prior ctx %d)",
+					sess, i, fresh, w.Prompt.Min, w.Prompt.Max, ctx)
+			}
+			if i > 0 && tr.arrival < turns[i-1].arrival {
+				t.Fatalf("session %d: turn arrivals not monotone", sess)
+			}
+			if i > 0 {
+				grown = true
+			}
+			ctx = tr.prompt + tr.output
+		}
+	}
+	if !grown {
+		t.Fatal("no session reached a second turn")
+	}
+}
+
+// TestMultiTurnValidate rejects the session knobs' invalid corners.
+func TestMultiTurnValidate(t *testing.T) {
+	ok := Workload{Arrival: ArrivalPoisson, RatePerSec: 1, Requests: 10, Prompt: Fixed(8), Output: Fixed(8)}
+	cases := []func(*Workload){
+		func(w *Workload) { w.Turns = -1 },
+		func(w *Workload) { w.ThinkTime = -2 },
+		func(w *Workload) {
+			w.Arrival, w.Trace = ArrivalTrace, []Request{{PromptTokens: 1, OutputTokens: 1}}
+			w.Turns = 2
+		},
+	}
+	for i, mutate := range cases {
+		w := ok
+		mutate(&w)
+		if err := w.Validate(); err == nil {
+			t.Errorf("case %d: want validation error for %+v", i, w)
+		}
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("baseline workload invalid: %v", err)
 	}
 }

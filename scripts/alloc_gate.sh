@@ -11,6 +11,10 @@
 #   BenchmarkServeEngine   8  — one serving run on a warm engine:
 #                               the Report + its Timeline copy + the
 #                               workload RNG/stepper closures
+#   BenchmarkServeEngineTiered 10 — the same run with KV tiers, sessions
+#                               and the prefix cache live; the extra
+#                               allocs are the multi-turn generator's
+#                               stable sort, not the tier machinery
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +22,7 @@ budgets="
 BenchmarkGateRoute 0
 BenchmarkE4M3Quantize 0
 BenchmarkServeEngine 8
+BenchmarkServeEngineTiered 10
 "
 
 pattern="$(awk 'NF { printf "%s%s", sep, $1; sep = "|" }' <<<"$budgets")"
