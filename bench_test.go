@@ -331,6 +331,60 @@ func BenchmarkServeEngineTiered(b *testing.B) {
 	}
 }
 
+// BenchmarkServeEngineTraced measures the tiered unit of work with the
+// full observability stack live: a trace recorder capturing every
+// lifecycle event, a metrics registry sampling every 0.5 s, and a
+// crash/recover fault plan with retries so incident and backoff events
+// flow too. A warm recorder appends into reused buffers (formatting
+// happens only at export), so the traced budget stays O(1) per run —
+// the enabled-path half of the zero-cost discipline.
+func BenchmarkServeEngineTraced(b *testing.B) {
+	cfg := V3ServeConfig()
+	cfg.KV.HBM.CapacityBytes = 0.08e9
+	cfg.KV.ChunkTokens = 256
+	cfg.KV.Tiers = []ServeKVTierConfig{
+		{Name: "dram", CapacityBytes: 8e9, ReadBW: 24e9, WriteBW: 16e9, ChunkLatency: 50e-6},
+		{Name: "flash", CapacityBytes: 64e9, ReadBW: 6e9, WriteBW: 3e9, ChunkLatency: 400e-6},
+	}
+	cfg.KV.PrefixCache = true
+	cfg.Resilience.Faults = &ServeFaultPlan{
+		Events: []ServeFaultEvent{
+			{At: 6, Kind: FaultCrash, Instance: 1},
+			{At: 14, Kind: FaultRecover, Instance: 1},
+		},
+	}
+	cfg.Resilience.Retry = DefaultServeRetryPolicy()
+	w := ServeWorkload{
+		Arrival:    ArrivalPoisson,
+		RatePerSec: 2.5,
+		Requests:   200,
+		Prompt:     ServeLengthDist{Kind: DistUniform, Mean: 256, Min: 192, Max: 320},
+		Output:     ServeLengthDist{Kind: DistUniform, Mean: 256, Min: 192, Max: 320},
+		Turns:      3,
+		ThinkTime:  2,
+	}
+	eng := NewServeEngine()
+	rec := NewServeTraceRecorder()
+	reg := NewServeMetricsRegistry(0.5)
+	eng.AttachTracer(rec)
+	eng.AttachMetrics(reg)
+	rep, err := eng.Run(cfg, w) // warm the engine and the recorder
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.KVOffloads == 0 || len(rep.Incidents) == 0 || rep.Retried == 0 {
+		b.Fatalf("trace sparse (offloads=%d incidents=%d retried=%d); benchmark would not cover it",
+			rep.KVOffloads, len(rep.Incidents), rep.Retried)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(cfg, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCapacityPlanner measures a full doubling+bisection capacity
 // search — many engine runs back to back on the planner's pooled
 // engine.

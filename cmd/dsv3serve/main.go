@@ -39,11 +39,18 @@
 //	dsv3serve -admission queue=24,kv=0.85  # shed arrivals past these bounds
 //	dsv3serve -format json                 # structured output
 //	dsv3serve -timeline                    # batch/KV-occupancy timeline table
+//	dsv3serve -out results.json            # write the result to a file
+//	dsv3serve -trace-out trace.json        # Chrome trace_event JSON of every
+//	                                       #   request lifecycle (Perfetto)
+//	dsv3serve -metrics-out m.csv           # sampled time-series metrics
+//	                                       #   (.json emits JSON, else CSV)
+//	dsv3serve -metrics-interval 0.5        # metrics sampling cadence (s)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -84,6 +91,10 @@ func main() {
 	timeline := flag.Bool("timeline", false, "include the batch/KV-occupancy timeline table")
 	formatName := flag.String("format", "text", "output format: text, json, or csv")
 	deterministic := flag.Bool("deterministic", false, "omit volatile metadata (wall time) from emitted results")
+	outPath := flag.String("out", "", "write the result to this file instead of stdout")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON lifecycle trace to this file (load in Perfetto; single-rate runs only)")
+	metricsOut := flag.String("metrics-out", "", "write sampled time-series metrics to this file (.json emits JSON, anything else CSV; single-rate runs only)")
+	metricsInterval := flag.Float64("metrics-interval", float64(dsv3.DefaultServeMetricsInterval), "metrics sampling cadence in simulated seconds")
 	flag.Parse()
 
 	format, err := results.ParseFormat(*formatName)
@@ -142,6 +153,16 @@ func main() {
 	}
 	faulty := cfg.Resilience.Faults != nil || *admissionSpec != "" || *retries > 0
 
+	observing := *traceOut != "" || *metricsOut != ""
+	if observing {
+		if *findCapacity {
+			fail(fmt.Errorf("dsv3serve: -trace-out/-metrics-out record a single run and cannot follow a -find-capacity search"))
+		}
+		if *metricsInterval <= 0 {
+			fail(fmt.Errorf("dsv3serve: -metrics-interval must be > 0, got %g", *metricsInterval))
+		}
+	}
+
 	// Surface every configuration problem at once: Config.Validate
 	// aggregates the sub-config errors with errors.Join, so a broken
 	// invocation lists all of them instead of failing one at a time.
@@ -184,8 +205,30 @@ func main() {
 		if !*deterministic {
 			out.Meta.WallTime = time.Since(start)
 		}
-		emit(format, out)
+		emit(format, out, *outPath)
 		return
+	}
+
+	// With -trace-out/-metrics-out the run goes through one observed
+	// engine instead of the sweep pool. The sweep derives each point's
+	// seed from (cfg.Seed, index), so the observed single-rate run uses
+	// DeriveSeed(cfg.Seed, 0) — the headline table is byte-identical
+	// with and without observability attached.
+	var rec *dsv3.ServeTraceRecorder
+	var reg *dsv3.ServeMetricsRegistry
+	if observing {
+		rec = dsv3.NewServeTraceRecorder()
+		reg = dsv3.NewServeMetricsRegistry(*metricsInterval)
+	}
+	observe := func(cfg dsv3.ServeConfig, w dsv3.ServeWorkload) *dsv3.ServeReport {
+		eng := dsv3.NewServeEngine()
+		eng.AttachTracer(rec)
+		eng.AttachMetrics(reg)
+		rep, err := eng.Run(cfg, w)
+		if err != nil {
+			fail(err)
+		}
+		return rep
 	}
 
 	var pts []dsv3.ServeSweepPoint
@@ -203,9 +246,14 @@ func main() {
 			fail(err)
 		}
 		w = dsv3.ServeWorkload{Arrival: dsv3.ArrivalTrace, Trace: trace}
-		rep, err := dsv3.RunServe(cfg, w)
-		if err != nil {
-			fail(err)
+		var rep *dsv3.ServeReport
+		if observing {
+			rep = observe(cfg, w)
+		} else {
+			rep, err = dsv3.RunServe(cfg, w)
+			if err != nil {
+				fail(err)
+			}
 		}
 		pts = []dsv3.ServeSweepPoint{{Report: rep}}
 	} else {
@@ -213,8 +261,16 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		pts, err = dsv3.ServeRateSweep(cfg, w, sweep)
-		if err != nil {
+		if observing {
+			if len(sweep) != 1 {
+				fail(fmt.Errorf("dsv3serve: -trace-out/-metrics-out record a single run; got %d rates", len(sweep)))
+			}
+			pc := cfg
+			pc.Seed = dsv3.DeriveSeed(cfg.Seed, 0)
+			pw := w
+			pw.RatePerSec = sweep[0]
+			pts = []dsv3.ServeSweepPoint{{RatePerSec: sweep[0], Report: observe(pc, pw)}}
+		} else if pts, err = dsv3.ServeRateSweep(cfg, w, sweep); err != nil {
 			fail(err)
 		}
 	}
@@ -223,22 +279,56 @@ func main() {
 	if !*deterministic {
 		res.Meta.WallTime = time.Since(start)
 	}
-	emit(format, res)
+	emit(format, res, *outPath)
+	if *traceOut != "" {
+		writeOut(*traceOut, rec.WriteJSON)
+	}
+	if *metricsOut != "" {
+		if strings.HasSuffix(*metricsOut, ".json") {
+			writeOut(*metricsOut, reg.WriteJSON)
+		} else {
+			writeOut(*metricsOut, reg.WriteCSV)
+		}
+	}
 }
 
-// emit renders one result in the selected format.
-func emit(format dsv3.ResultFormat, res *dsv3.ExperimentResult) {
-	var err error
-	switch format {
-	case results.FormatJSON:
-		err = results.EmitJSON(os.Stdout, res)
-	case results.FormatCSV:
-		err = results.EmitCSV(os.Stdout, res)
-	default:
-		fmt.Print(res.Text())
+// emit renders one result in the selected format, to stdout or (path
+// non-empty) to a file. Write failures — including the text path to a
+// full or closed stdout — exit non-zero naming the destination.
+func emit(format dsv3.ResultFormat, res *dsv3.ExperimentResult, path string) {
+	write := func(w io.Writer) error {
+		switch format {
+		case results.FormatJSON:
+			return results.EmitJSON(w, res)
+		case results.FormatCSV:
+			return results.EmitCSV(w, res)
+		default:
+			_, err := io.WriteString(w, res.Text())
+			return err
+		}
 	}
+	if path == "" {
+		if err := write(os.Stdout); err != nil {
+			fail(fmt.Errorf("dsv3serve: write stdout: %w", err))
+		}
+		return
+	}
+	writeOut(path, write)
+}
+
+// writeOut creates path and streams write into it, exiting non-zero
+// with the offending path on any create, write, or close failure.
+func writeOut(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
 	if err != nil {
-		fail(err)
+		fail(fmt.Errorf("dsv3serve: write %s: %w", path, err))
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fail(fmt.Errorf("dsv3serve: write %s: %w", path, err))
+	}
+	if err := f.Close(); err != nil {
+		fail(fmt.Errorf("dsv3serve: write %s: %w", path, err))
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"dsv3/internal/moe"
 	"dsv3/internal/mtp"
 	"dsv3/internal/netsim"
+	"dsv3/internal/obs"
 	"dsv3/internal/parallel"
 	"dsv3/internal/pipeline"
 	"dsv3/internal/quant"
@@ -503,4 +504,57 @@ var (
 	ServeKVTierStudy       = experiments.KVTierStudy
 	ServeKVTierStudyResult = experiments.KVTierStudyResult
 	RenderServeKVTier      = experiments.RenderKVTierStudy
+)
+
+// Observability: deterministic request-lifecycle tracing and sampled
+// time-series metrics for the serving simulator. Attach a recorder
+// and/or registry to a ServeEngine (AttachTracer / AttachMetrics)
+// before Run; with neither attached every hook is a nil-checked no-op,
+// so the instrumented engine's output and allocation profile are
+// byte-identical to an uninstrumented one. Trace and metrics output is
+// deterministic: identical runs emit identical bytes for any worker
+// count and for pooled vs fresh engines.
+type (
+	// ServeTracer is the lifecycle hook interface the engine drives;
+	// ServeTraceRecorder is the standard implementation (Chrome
+	// trace_event JSON via WriteJSON — load in Perfetto — plus
+	// per-request phase breakdowns).
+	ServeTracer        = obs.Tracer
+	ServeTraceRecorder = obs.TraceRecorder
+	// ServePhase / ServeTraceMark name the lifecycle phases (queue,
+	// prefill, transfer, reload, decode, backoff) and instant events
+	// (arrival, shed, preempt, offload, orphan, retry, ...).
+	ServePhase     = obs.Phase
+	ServeTraceMark = obs.Mark
+	// ServeReqBreakdown is one resolved request's per-phase time split;
+	// the phase durations tile [arrival, done] exactly.
+	ServeReqBreakdown = obs.ReqBreakdown
+	// ServeMetricsRegistry samples engine gauges/counters on a fixed
+	// simulated-time grid (Table / WriteCSV / WriteJSON emitters).
+	ServeMetricsRegistry = obs.Registry
+)
+
+// DefaultServeMetricsInterval is the sampling cadence used when a
+// metrics registry is built with a non-positive interval.
+const DefaultServeMetricsInterval = obs.DefaultMetricsInterval
+
+// Lifecycle phases a traced request moves through. The phase durations
+// of a resolved request tile [arrival, done] exactly.
+const (
+	ServePhaseQueue    = obs.PhaseQueue
+	ServePhasePrefill  = obs.PhasePrefill
+	ServePhaseTransfer = obs.PhaseTransfer
+	ServePhaseReload   = obs.PhaseReload
+	ServePhaseDecode   = obs.PhaseDecode
+	ServePhaseBackoff  = obs.PhaseBackoff
+)
+
+var (
+	NewServeTraceRecorder   = obs.NewTraceRecorder
+	NewServeMetricsRegistry = obs.NewRegistry
+	// ServeTraceStudy runs the tiered+faulted reference configuration
+	// with tracing and metrics attached (serve-trace catalogue entry).
+	ServeTraceStudy       = experiments.TraceStudy
+	ServeTraceStudyResult = experiments.TraceStudyResult
+	RenderServeTrace      = experiments.RenderTraceStudy
 )

@@ -26,6 +26,7 @@ const (
 	SeedServeFailure  = 61
 	SeedServeShed     = 67
 	SeedServeKVTier   = 71
+	SeedServeTrace    = 73
 )
 
 // Options configure one catalogue runner invocation.
@@ -162,6 +163,8 @@ func Catalogue() []Runner {
 			func(o Options) (*results.Table, error) { return ShedStudyResult(SeedServeShed, o.Quick) }),
 		one("serve-kvtier", "serving: tiered KV offload + prefix cache capacity frontier", SeedServeKVTier,
 			func(o Options) (*results.Table, error) { return KVTierStudyResult(SeedServeKVTier, o.Quick) }),
+		many("serve-trace", "serving: deterministic lifecycle trace of the tiered+faulted run", SeedServeTrace,
+			func(o Options) ([]*results.Table, error) { return TraceStudyResult(SeedServeTrace, o.Quick) }),
 	}
 }
 

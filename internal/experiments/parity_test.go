@@ -89,6 +89,7 @@ func TestParallelSerialParity(t *testing.T) {
 		{"serve-failure", func() (string, error) { return RenderFailureStudy(SeedServeFailure, true) }},
 		{"serve-shed", func() (string, error) { return RenderShedStudy(SeedServeShed, true) }},
 		{"serve-kvtier", func() (string, error) { return RenderKVTierStudy(SeedServeKVTier, true) }},
+		{"serve-trace", func() (string, error) { return RenderTraceStudy(SeedServeTrace, true) }},
 		{"accum", func() (string, error) { return RenderAccumulationAblation(13) }},
 		{"logfmt", func() (string, error) { return RenderLogFMT(17) }},
 		{"nodelimit", func() (string, error) { return RenderNodeLimited(19) }},

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"dsv3/internal/results"
+	"dsv3/internal/units"
+)
+
+// ReqBreakdown is one request's phase attribution: where its
+// end-to-end latency went. Phases tile the request's lifetime
+// contiguously, so the per-phase durations sum to Done-Arrival (exact
+// up to float summation).
+type ReqBreakdown struct {
+	ID           int
+	Session      int
+	PromptTokens int
+	OutputTokens int
+	Arrival      units.Seconds
+	Done         units.Seconds
+	// Phases is indexed by Phase (PhaseQueue..PhaseBackoff).
+	Phases [NumPhases]units.Seconds
+	// Outcome is "completed", "failed", or "shed".
+	Outcome string
+	// Retries counts crash-orphaning retries; Preempts counts
+	// preemption evictions (recompute or offload).
+	Retries  int
+	Preempts int
+}
+
+// E2E returns the request's end-to-end latency.
+func (b *ReqBreakdown) E2E() units.Seconds { return b.Done - b.Arrival }
+
+// PhaseSum returns the total attributed time across phases.
+func (b *ReqBreakdown) PhaseSum() units.Seconds {
+	var s units.Seconds
+	for _, d := range b.Phases {
+		s += d
+	}
+	return s
+}
+
+func outcomeName(m Mark) string {
+	switch m {
+	case MarkComplete:
+		return "completed"
+	case MarkFailed:
+		return "failed"
+	case MarkShed:
+		return "shed"
+	}
+	return "unresolved"
+}
+
+// Breakdowns returns the per-request phase attribution for every
+// resolved request of the traced run, ordered by request ID.
+func (r *TraceRecorder) Breakdowns() []ReqBreakdown {
+	out := make([]ReqBreakdown, 0, len(r.reqs))
+	for i := range r.reqs {
+		tr := &r.reqs[i]
+		if !tr.seen || !tr.resolved {
+			continue
+		}
+		out = append(out, ReqBreakdown{
+			ID:           tr.info.ID,
+			Session:      tr.info.Session,
+			PromptTokens: tr.info.PromptTokens,
+			OutputTokens: tr.info.OutputTokens,
+			Arrival:      tr.arrival,
+			Done:         tr.done,
+			Phases:       tr.phases,
+			Outcome:      outcomeName(tr.outcome),
+			Retries:      tr.retries,
+			Preempts:     tr.preempts,
+		})
+	}
+	return out
+}
+
+// PhaseTable renders the per-request phase breakdown as a structured
+// table (milliseconds per phase), the compact complement to the full
+// trace-event export.
+func (r *TraceRecorder) PhaseTable() *results.Table {
+	t := results.NewTable("Per-request phase breakdown",
+		results.C("Req"), results.C("Session"),
+		results.CU("Prompt", "tok"), results.CU("Output", "tok"),
+		results.CU("Queue", "ms"), results.CU("Prefill", "ms"),
+		results.CU("Transfer", "ms"), results.CU("Reload", "ms"),
+		results.CU("Decode", "ms"), results.CU("Backoff", "ms"),
+		results.CU("E2E", "ms"), results.C("Retries"), results.C("Preempt"),
+		results.C("Outcome"))
+	ms := func(s units.Seconds) results.Cell { return results.Float("%.2f", s*1e3) }
+	for _, b := range r.Breakdowns() {
+		session := results.NA()
+		if b.Session > 0 {
+			session = results.Int(b.Session)
+		}
+		t.Row(results.Int(b.ID), session,
+			results.Int(b.PromptTokens), results.Int(b.OutputTokens),
+			ms(b.Phases[PhaseQueue]), ms(b.Phases[PhasePrefill]),
+			ms(b.Phases[PhaseTransfer]), ms(b.Phases[PhaseReload]),
+			ms(b.Phases[PhaseDecode]), ms(b.Phases[PhaseBackoff]),
+			ms(b.E2E()), results.Int(b.Retries), results.Int(b.Preempts),
+			results.Str(b.Outcome))
+	}
+	return t
+}
+
+// PhaseTotalsTable aggregates the breakdown across resolved requests:
+// total and mean time per phase, plus the share of all attributed
+// time — the where-did-the-time-go headline.
+func (r *TraceRecorder) PhaseTotalsTable() *results.Table {
+	t := results.NewTable("Phase totals across resolved requests",
+		results.C("Phase"), results.CU("Total", "s"), results.CU("Mean", "ms"),
+		results.CU("Share", "%"))
+	var totals [NumPhases]units.Seconds
+	n := 0
+	for i := range r.reqs {
+		tr := &r.reqs[i]
+		if !tr.seen || !tr.resolved || tr.outcome == MarkShed {
+			continue
+		}
+		n++
+		for p := 0; p < NumPhases; p++ {
+			totals[p] += tr.phases[p]
+		}
+	}
+	var all units.Seconds
+	for _, d := range totals {
+		all += d
+	}
+	for p := 0; p < NumPhases; p++ {
+		mean := results.NA()
+		if n > 0 {
+			mean = results.Float("%.2f", totals[p]/float64(n)*1e3)
+		}
+		share := results.NA()
+		if all > 0 {
+			share = results.Float("%.1f%%", totals[p]/all*100)
+		}
+		t.Row(results.Str(Phase(p).String()),
+			results.Float("%.3f", totals[p]), mean, share)
+	}
+	return t
+}

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dsv3/internal/obs"
 	"dsv3/internal/units"
 )
 
@@ -446,6 +447,8 @@ func (e *Engine) offloadVictim(d *decodeUnit, req *reqState) bool {
 func (e *Engine) startReload(inst int, req *reqState) {
 	h := &e.hier
 	d := &e.decodes[inst]
+	e.trPhaseEnd(req)
+	e.trPhaseBegin(req, obs.PhaseReload, inst)
 	ent := &h.entries[req.entry-1]
 	b := float64(ent.chunks) * h.chunkBytes
 	h.bytesOut[ent.tier+1] += b
@@ -477,6 +480,8 @@ func (e *Engine) reloadDone(inst int, req *reqState) {
 	}
 	d.admitCounter++
 	req.admitSeq = d.admitCounter
+	e.trPhaseEnd(req)
+	e.trPhaseBegin(req, obs.PhaseDecode, inst)
 	d.active = append(d.active, req)
 	if !d.stepping && !d.prefilling {
 		e.startStep(inst)
@@ -558,6 +563,7 @@ func (e *Engine) prefillCost(req *reqState) units.Seconds {
 	}
 	h.hits++
 	h.hitTokens += hit
+	e.trMark(req, obs.MarkPrefixHit)
 	h.touchSeq++
 	ent.touch = h.touchSeq
 	chunks := hit / h.chunkTokens

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dsv3/internal/obs"
 	"dsv3/internal/parallel"
 	"dsv3/internal/stats"
 	"dsv3/internal/units"
@@ -288,6 +289,13 @@ type Engine struct {
 	markGen   int       // preemption-victim generation (see reqState.preemptMark)
 	hier      hierState // below-HBM tier state (zero when KV.Tiers is empty)
 
+	// Observability hooks (see trace.go). Both stay nil unless attached,
+	// so the disabled path costs one nil check per hook site and zero
+	// allocations.
+	tracer  obs.Tracer
+	metrics *obs.Registry
+	mi      metricIdx
+
 	// Fault-injection state. The fault RNG is its own reseedable stream
 	// (seed stream 4), so injected randomness never perturbs the
 	// workload, MTP, or routing draws; every field below stays zero on a
@@ -407,6 +415,7 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 	for i := range e.decodes {
 		e.decodes[i].reset(kv)
 	}
+	e.obsBeginRun(nPrefill, nDecode)
 
 	// Sample the batch/occupancy timeline on a horizon estimated from
 	// the offered traffic; sampling is clocked off event times only, so
@@ -439,11 +448,15 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 		ev := e.heap.pop()
 		e.now = ev.at
 		e.sampleUpTo(e.now)
+		e.metricsUpTo(e.now)
 		switch ev.kind {
 		case evArrival:
 			if e.shouldShed() {
 				e.shed++
+				e.trMark(ev.req, obs.MarkShed)
 			} else {
+				e.trMark(ev.req, obs.MarkArrival)
+				e.trPhaseBegin(ev.req, obs.PhaseQueue, -1)
 				e.prefillQ.push(ev.req)
 			}
 		case evPrefillDone:
@@ -456,6 +469,8 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 				e.orphan(ev.req)
 				break
 			}
+			e.trPhaseEnd(ev.req)
+			e.trPhaseBegin(ev.req, obs.PhaseQueue, ev.inst)
 			d.pending.push(ev.req)
 			if !d.stepping && !d.prefilling {
 				e.startStep(ev.inst)
@@ -482,6 +497,9 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 			req := ev.req
 			req.resumed = req.generated > 0
 			req.ctx = req.ctxForPrefill()
+			e.trPhaseEnd(req)
+			e.trMark(req, obs.MarkRetry)
+			e.trPhaseBegin(req, obs.PhaseQueue, -1)
 			e.prefillQ.push(req)
 		case evReloadDone:
 			if e.decodes[ev.inst].epoch != ev.epoch {
@@ -506,6 +524,7 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 		return nil, fmt.Errorf("servesim: %d of %d requests never completed (scheduling stall)",
 			len(reqs)-n, len(reqs))
 	}
+	e.obsEndRun()
 	return e.report(), nil
 }
 
@@ -582,7 +601,11 @@ func (e *Engine) dispatch() {
 		p := &e.prefills[inst]
 		p.busy = true
 		p.cur = req
-		e.scheduleEpoch(e.now+e.prefillCost(req), evPrefillDone, inst, p.epoch, req)
+		cost := e.prefillCost(req)
+		e.trPhaseEnd(req)
+		e.trPhaseBegin(req, obs.PhasePrefill, inst)
+		e.trCompute(cost, true, inst, obs.ComputePrefill, req.ID)
+		e.scheduleEpoch(e.now+cost, evPrefillDone, inst, p.epoch, req)
 	}
 	e.loads = idle[:0]
 }
@@ -611,6 +634,7 @@ func (e *Engine) prefillDone(ev *event) {
 	}
 	p.busy = false
 	p.cur = nil
+	e.trPhaseEnd(req)
 	e.emitFirstToken(req)
 	if req.remaining() == 0 {
 		e.complete(req)
@@ -643,6 +667,7 @@ func (e *Engine) prefillDone(ev *event) {
 	if e.cfg.Fleet.TransferBW > 0 {
 		transfer = e.cfg.Latency.kvBytesForContext(e.lc, req.ctx) / e.cfg.Fleet.TransferBW
 	}
+	e.trPhaseBegin(req, obs.PhaseTransfer, best)
 	e.schedule(e.now+transfer, evDecodeLand, best, req)
 }
 
@@ -657,6 +682,8 @@ func (e *Engine) emitFirstToken(req *reqState) {
 
 func (e *Engine) complete(req *reqState) {
 	req.done = e.now
+	e.trPhaseEnd(req)
+	e.trMark(req, obs.MarkComplete)
 	e.completed = append(e.completed, req)
 	e.prefixStore(req)
 }
@@ -682,7 +709,11 @@ func (e *Engine) startStep(inst int) {
 			d.prefilling = true
 			d.prefillReq = req
 			e.notePeakOcc()
-			e.scheduleEpoch(e.now+e.prefillCost(req), evPrefillDone, inst, d.epoch, req)
+			cost := e.prefillCost(req)
+			e.trPhaseEnd(req)
+			e.trPhaseBegin(req, obs.PhasePrefill, inst)
+			e.trCompute(cost, false, inst, obs.ComputePrefill, req.ID)
+			e.scheduleEpoch(e.now+cost, evPrefillDone, inst, d.epoch, req)
 			return
 		}
 	}
@@ -705,6 +736,9 @@ func (e *Engine) startStep(inst int) {
 				req.resumed = true
 				req.preempted++
 				e.preempts++
+				// The queue phase continues: the request rejoins the shared
+				// prefill queue without leaving the queued state.
+				e.trMark(req, obs.MarkPreempt)
 				req.ctx = req.ctxForPrefill()
 				e.prefillQ.push(req)
 				continue
@@ -723,6 +757,8 @@ func (e *Engine) startStep(inst int) {
 			d.admitCounter++
 			req.admitSeq = d.admitCounter
 			d.pending.pop()
+			e.trPhaseEnd(req)
+			e.trPhaseBegin(req, obs.PhaseDecode, inst)
 			d.active = append(d.active, req)
 			e.notePeakOcc()
 		}
@@ -741,6 +777,7 @@ func (e *Engine) startStep(inst int) {
 	d.sincePrefill++
 	e.steps++
 	e.stepBatch += len(d.active)
+	e.trCompute(dt, false, inst, obs.ComputeDecodeStep, len(d.active))
 	e.scheduleEpoch(e.now+dt, evStepDone, inst, d.epoch, nil)
 }
 
@@ -752,6 +789,7 @@ func (e *Engine) colocatedPrefillDone(inst int, req *reqState) {
 	d.prefilling = false
 	d.prefillReq = nil
 	d.sincePrefill = 0
+	e.trPhaseEnd(req)
 	e.emitFirstToken(req)
 	if req.remaining() == 0 {
 		d.kv.release(req.pages)
@@ -760,6 +798,7 @@ func (e *Engine) colocatedPrefillDone(inst int, req *reqState) {
 	} else {
 		d.admitCounter++
 		req.admitSeq = d.admitCounter
+		e.trPhaseBegin(req, obs.PhaseDecode, inst)
 		d.active = append(d.active, req)
 	}
 	e.startStep(inst)
@@ -839,6 +878,9 @@ func (e *Engine) stepDone(inst int) error {
 					// The victim's KV moved down the hierarchy intact;
 					// it waits in the landing queue for pages and a
 					// reload instead of recomputing.
+					e.trPhaseEnd(req)
+					e.trMark(req, obs.MarkOffload)
+					e.trPhaseBegin(req, obs.PhaseQueue, inst)
 					continue
 				}
 				// Recompute-style preemption: pages are gone, the
@@ -847,6 +889,9 @@ func (e *Engine) stepDone(inst int) error {
 				req.resumed = true
 				req.preempted++
 				e.preempts++
+				e.trPhaseEnd(req)
+				e.trMark(req, obs.MarkPreempt)
+				e.trPhaseBegin(req, obs.PhaseQueue, -1)
 				req.ctx = req.ctxForPrefill()
 				e.prefillQ.push(req)
 			} else {
@@ -926,10 +971,14 @@ func (e *Engine) applyFault(kind FaultKind, prefill bool, inst int) {
 				e.crashPrefill(inst)
 			}
 		case FaultRecover:
+			if p.health != healthUp {
+				e.trIncident(true, inst, "recover")
+			}
 			e.noteHealth(p.health, healthUp)
 			p.health = healthUp
 		case FaultDrain:
 			if p.health == healthUp {
+				e.trIncident(true, inst, "drain")
 				e.noteHealth(healthUp, healthDraining)
 				p.health = healthDraining
 			}
@@ -943,10 +992,14 @@ func (e *Engine) applyFault(kind FaultKind, prefill bool, inst int) {
 			e.crashDecode(inst)
 		}
 	case FaultRecover:
+		if d.health != healthUp {
+			e.trIncident(false, inst, "recover")
+		}
 		e.noteHealth(d.health, healthUp)
 		d.health = healthUp
 	case FaultDrain:
 		if d.health == healthUp {
+			e.trIncident(false, inst, "drain")
 			e.noteHealth(healthUp, healthDraining)
 			d.health = healthDraining
 		}
@@ -990,6 +1043,7 @@ func (e *Engine) randomCrash() {
 // epoch bump invalidates the matching evPrefillDone still in the heap.
 func (e *Engine) crashPrefill(inst int) {
 	p := &e.prefills[inst]
+	e.trIncident(true, inst, "crash")
 	inc := Incident{At: e.now, Instance: inst, Prefill: true}
 	if p.busy && p.cur != nil {
 		inc.Orphaned++
@@ -1011,6 +1065,7 @@ func (e *Engine) crashPrefill(inst int) {
 // instance's in-flight evStepDone/evPrefillDone events.
 func (e *Engine) crashDecode(inst int) {
 	d := &e.decodes[inst]
+	e.trIncident(false, inst, "crash")
 	inc := Incident{At: e.now, Instance: inst}
 	for _, req := range d.active {
 		inc.Orphaned++
@@ -1060,16 +1115,20 @@ func (e *Engine) orphan(req *reqState) {
 	e.hier.forget(req)
 	req.pages = 0
 	e.affected++
+	e.trPhaseEnd(req)
+	e.trMark(req, obs.MarkOrphan)
 	if req.retries < e.cfg.Resilience.Retry.MaxRetries {
 		if req.retries == 0 {
 			e.retried++
 		}
 		req.retries++
 		e.retries++
+		e.trPhaseBegin(req, obs.PhaseBackoff, -1)
 		e.schedule(e.now+e.cfg.Resilience.Retry.delay(req.retries), evRetry, 0, req)
 		return
 	}
 	req.done = e.now
+	e.trMark(req, obs.MarkFailed)
 	e.failed = append(e.failed, req)
 }
 
@@ -1096,14 +1155,7 @@ func (e *Engine) sampleUpTo(t units.Seconds) {
 			e.nextSample = e.samples[keep-1].Time + e.sampleStep
 			continue
 		}
-		var batch int
-		var used, total int
-		for i := range e.decodes {
-			d := &e.decodes[i]
-			batch += len(d.active)
-			used += d.kv.used
-			total += d.kv.total
-		}
+		batch, used, total := e.fleetSnapshot()
 		occ := 0.0
 		if total > 0 {
 			occ = float64(used) / float64(total)
@@ -1115,4 +1167,17 @@ func (e *Engine) sampleUpTo(t units.Seconds) {
 		})
 		e.nextSample += e.sampleStep
 	}
+}
+
+// fleetSnapshot totals the decode fleet's instantaneous state — the
+// running batch and KV pool usage — shared by the timeline sampler and
+// the metrics registry (fillMetrics).
+func (e *Engine) fleetSnapshot() (batch, used, total int) {
+	for i := range e.decodes {
+		d := &e.decodes[i]
+		batch += len(d.active)
+		used += d.kv.used
+		total += d.kv.total
+	}
+	return batch, used, total
 }

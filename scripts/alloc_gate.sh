@@ -15,6 +15,12 @@
 #                               and the prefix cache live; the extra
 #                               allocs are the multi-turn generator's
 #                               stable sort, not the tier machinery
+#   BenchmarkServeEngineTraced 20 — the tiered+faulted run with the trace
+#                               recorder and metrics registry attached;
+#                               a warm recorder appends into reused
+#                               buffers, so the overhead is O(1) per run
+#                               (the per-tier metric-name strings), not
+#                               per event
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +29,7 @@ BenchmarkGateRoute 0
 BenchmarkE4M3Quantize 0
 BenchmarkServeEngine 8
 BenchmarkServeEngineTiered 10
+BenchmarkServeEngineTraced 20
 "
 
 pattern="$(awk 'NF { printf "%s%s", sep, $1; sep = "|" }' <<<"$budgets")"

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Validate a Chrome trace_event JSON file emitted by dsv3serve
+# -trace-out or the serve-trace study: parses the document, checks the
+# Perfetto process metadata, and requires at least one event for every
+# name passed after the path.
+#
+#   scripts/trace_check.sh trace.json prefill decode-step reload retry crash
+set -euo pipefail
+cd "$(dirname "$0")/.."
+go run ./scripts/tracecheck "$@"

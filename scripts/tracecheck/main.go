@@ -1,0 +1,75 @@
+// Command tracecheck validates a Chrome trace_event JSON file emitted
+// by the serving simulator's trace recorder: the document must parse,
+// carry a non-empty traceEvents array with the process-name metadata,
+// and contain at least one event for every name given on the command
+// line. CI uses it (via scripts/trace_check.sh) to smoke-test
+// dsv3serve -trace-out output without golden-pinning a multi-megabyte
+// trace.
+//
+// Usage:
+//
+//	tracecheck trace.json [required-event-name ...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [required-event-name ...]")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fail("%s: not valid trace JSON: %v", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		fail("%s: no trace events", path)
+	}
+	seen := make(map[string]int, len(doc.TraceEvents))
+	meta := 0
+	for _, ev := range doc.TraceEvents {
+		seen[ev.Name]++
+		if ev.Name == "process_name" && ev.Ph == "M" {
+			meta++
+		}
+		if ev.Ts < 0 {
+			fail("%s: event %q at negative timestamp %g", path, ev.Name, ev.Ts)
+		}
+	}
+	if meta == 0 {
+		fail("%s: missing process_name metadata (Perfetto would show bare pids)", path)
+	}
+	status := 0
+	for _, name := range os.Args[2:] {
+		if seen[name] == 0 {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: no %q events\n", path, name)
+			status = 1
+		}
+	}
+	if status != 0 {
+		os.Exit(status)
+	}
+	fmt.Printf("tracecheck: %s ok (%d events, %d processes)\n", path, len(doc.TraceEvents), meta)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
