@@ -306,6 +306,11 @@ type (
 	ServeRouter       = servesim.Router
 	ServeRouterPolicy = servesim.RouterPolicy
 	ServeInstanceLoad = servesim.InstanceLoad
+	// ServeScheduler selects the event-queue implementation
+	// (ServeConfig.Fleet.Scheduler); ServeConfig.Fleet.Shards partitions
+	// the decode fleet across concurrent sub-engines. Both are pure
+	// performance knobs — output bytes are identical for every setting.
+	ServeScheduler = servesim.SchedulerKind
 	// ServeCapacityPlanner bisects for the max sustainable arrival rate
 	// meeting a target SLO attainment — the per-fleet goodput knee.
 	ServeCapacityPlanner = servesim.CapacityPlanner
@@ -345,6 +350,9 @@ const (
 	RoutePowerOfTwo    = servesim.RoutePowerOfTwo
 	RouteShortestQueue = servesim.RouteShortestQueue
 
+	ServeSchedHeap     = servesim.SchedHeap
+	ServeSchedCalendar = servesim.SchedCalendar
+
 	FaultCrash   = servesim.FaultCrash
 	FaultRecover = servesim.FaultRecover
 	FaultDrain   = servesim.FaultDrain
@@ -376,6 +384,9 @@ var (
 	// tiers of a ServeKVHierarchy — the format behind dsv3serve's
 	// -kv-tiers flag.
 	ParseServeKVTiers = servesim.ParseKVTiers
+	// ParseServeScheduler resolves "heap" or "calendar" — the format
+	// behind dsv3serve's -sched flag.
+	ParseServeScheduler = servesim.ParseScheduler
 )
 
 // Training (Table 4).
@@ -557,4 +568,12 @@ var (
 	ServeTraceStudy       = experiments.TraceStudy
 	ServeTraceStudyResult = experiments.TraceStudyResult
 	RenderServeTrace      = experiments.RenderTraceStudy
+	// ServeFleetStudy runs the 1000-instance fleet under one million
+	// Poisson requests on the sharded event loop (serve-fleet entry);
+	// ServeFleetConfig1000 is the deployment it runs.
+	ServeFleetStudy       = experiments.FleetStudy
+	ServeFleetStudyResult = experiments.FleetStudyResult
+	RenderServeFleet      = experiments.RenderFleetStudy
+	ServeFleetConfig1000  = experiments.FleetConfig
+	ServeFleetWorkload    = experiments.FleetWorkload
 )

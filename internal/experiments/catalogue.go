@@ -27,6 +27,7 @@ const (
 	SeedServeShed     = 67
 	SeedServeKVTier   = 71
 	SeedServeTrace    = 73
+	SeedServeFleet    = 79
 )
 
 // Options configure one catalogue runner invocation.
@@ -165,6 +166,8 @@ func Catalogue() []Runner {
 			func(o Options) (*results.Table, error) { return KVTierStudyResult(SeedServeKVTier, o.Quick) }),
 		many("serve-trace", "serving: deterministic lifecycle trace of the tiered+faulted run", SeedServeTrace,
 			func(o Options) ([]*results.Table, error) { return TraceStudyResult(SeedServeTrace, o.Quick) }),
+		one("serve-fleet", "serving: 1000-instance fleet under 1M requests (sharded event loop)", SeedServeFleet,
+			func(o Options) (*results.Table, error) { return FleetStudyResult(SeedServeFleet, o.Quick) }),
 	}
 }
 

@@ -1,0 +1,118 @@
+package obs
+
+import "dsv3/internal/units"
+
+// TraceLog is a deterministic record-and-replay buffer for Tracer
+// calls. The sharded serving engine gives each shard its own TraceLog:
+// shards append concurrently (each to its own log, never sharing one),
+// and the coordinator replays contiguous ranges into the real Tracer in
+// canonical merge order — so the attached tracer observes the exact
+// call sequence a serial run would have made, while the shards never
+// touch it directly.
+//
+// A TraceLog is itself a Tracer, so it buffers anything the engine can
+// emit; run-scoped calls (BeginRun/EndRun) are recorded like any other
+// entry for completeness, though the sharded engine issues those on the
+// real tracer directly.
+type TraceLog struct {
+	entries []logEntry
+}
+
+type logKind uint8
+
+const (
+	logPhaseBegin logKind = iota
+	logPhaseEnd
+	logMark
+	logCompute
+	logIncident
+	logBeginRun
+	logEndRun
+)
+
+// logEntry is one buffered Tracer call. A flat union keeps replay
+// allocation-free; kindStr is only populated for incidents.
+type logEntry struct {
+	kind    logKind
+	t       units.Seconds
+	dur     units.Seconds
+	req     ReqInfo
+	phase   Phase
+	mark    Mark
+	ck      ComputeKind
+	inst    int
+	v       int
+	prefill bool
+	run     RunInfo
+	kindStr string
+}
+
+var _ Tracer = (*TraceLog)(nil)
+
+// Reset drops every buffered entry, retaining capacity.
+func (l *TraceLog) Reset() { l.entries = l.entries[:0] }
+
+// Len returns the number of buffered entries — callers snapshot it
+// before and after an event to delimit that event's replay range.
+func (l *TraceLog) Len() int { return len(l.entries) }
+
+// BeginRun implements Tracer.
+func (l *TraceLog) BeginRun(run RunInfo) {
+	l.entries = append(l.entries, logEntry{kind: logBeginRun, run: run})
+}
+
+// PhaseBegin implements Tracer.
+func (l *TraceLog) PhaseBegin(t units.Seconds, req ReqInfo, ph Phase, inst int) {
+	l.entries = append(l.entries, logEntry{kind: logPhaseBegin, t: t, req: req, phase: ph, inst: inst})
+}
+
+// PhaseEnd implements Tracer.
+func (l *TraceLog) PhaseEnd(t units.Seconds, reqID int) {
+	l.entries = append(l.entries, logEntry{kind: logPhaseEnd, t: t, v: reqID})
+}
+
+// Mark implements Tracer.
+func (l *TraceLog) Mark(t units.Seconds, req ReqInfo, m Mark) {
+	l.entries = append(l.entries, logEntry{kind: logMark, t: t, req: req, mark: m})
+}
+
+// Compute implements Tracer.
+func (l *TraceLog) Compute(start, dur units.Seconds, prefill bool, inst int, kind ComputeKind, v int) {
+	l.entries = append(l.entries, logEntry{
+		kind: logCompute, t: start, dur: dur, prefill: prefill, inst: inst, ck: kind, v: v,
+	})
+}
+
+// Incident implements Tracer.
+func (l *TraceLog) Incident(t units.Seconds, prefill bool, inst int, kind string) {
+	l.entries = append(l.entries, logEntry{kind: logIncident, t: t, prefill: prefill, inst: inst, kindStr: kind})
+}
+
+// EndRun implements Tracer.
+func (l *TraceLog) EndRun(t units.Seconds) {
+	l.entries = append(l.entries, logEntry{kind: logEndRun, t: t})
+}
+
+// Replay re-issues the buffered entries in [lo, hi) against dst in
+// recording order.
+func (l *TraceLog) Replay(dst Tracer, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e := &l.entries[i]
+		switch e.kind {
+		case logPhaseBegin:
+			dst.PhaseBegin(e.t, e.req, e.phase, e.inst)
+		case logPhaseEnd:
+			dst.PhaseEnd(e.t, e.v)
+		case logMark:
+			dst.Mark(e.t, e.req, e.mark)
+		case logCompute:
+			dst.Compute(e.t, e.dur, e.prefill, e.inst, e.ck, e.v)
+		case logIncident:
+			dst.Incident(e.t, e.prefill, e.inst, e.kindStr)
+		case logBeginRun:
+			dst.BeginRun(e.run)
+		case logEndRun:
+			dst.EndRun(e.t)
+		}
+	}
+}

@@ -177,6 +177,11 @@ type prefillUnit struct {
 	cur    *reqState
 	epoch  int
 	health healthState
+	// landAt (sharded runs only) bounds when cur's decode hand-off can
+	// land: prefill completion plus the KV transfer. The coordinator's
+	// conservative window never extends past any busy unit's landAt, so
+	// a land is always scheduled before the window it falls in opens.
+	landAt units.Seconds
 }
 
 // decodeUnit is one decode (or colocated) instance.
@@ -269,13 +274,18 @@ type Engine struct {
 	reseed func(int64)
 	now    units.Seconds
 	seq    int
-	heap   eventHeap
+	events eventQueue // scheduler selected by Fleet.Scheduler (heap default)
 
 	reqs     []Request  // generated workload scratch
 	arena    []reqState // one entry per request, pointer-stable within a run
 	prefillQ fifo
 	prefills []prefillUnit // empty when colocated
 	decodes  []decodeUnit
+	// idlePrefills counts prefill units that are idle and healthy — the
+	// dispatch candidate set size — so the post-event dispatch call can
+	// skip its O(nPrefill) scan when nothing can possibly pair. Kept
+	// exact: ±1 at dispatch/prefillDone, recounted on fault transitions.
+	idlePrefills int
 
 	// One router instance per decision point, so per-policy state
 	// (round-robin cursors, the p2c stream) never couples prefill
@@ -327,6 +337,21 @@ type Engine struct {
 
 	latHist         stats.Histogram // latency-sample tally (surfaces Dropped)
 	ttft, tpot, e2e []float64       // report percentile scratch
+
+	// Sharded-execution state (see shard.go). sharded is true only while
+	// runSharded is driving the run; every serial run leaves it false, so
+	// the serial path is untouched.
+	sharded  bool
+	shards   []engShard
+	mirror   fleetMirror
+	barrierQ eventHeap // fault-class events, processed only at window edges
+	// landHeap holds the land times of dispatched prefills (a min-heap of
+	// plain timestamps), so the coordinator can bound each window by the
+	// earliest in-flight hand-off in O(1) instead of scanning every
+	// prefill unit. Entries are popped lazily once the window edge passes
+	// them; a stale entry (its prefill already done, its land already
+	// delivered to a shard) only shrinks a window, never corrupts one.
+	landHeap []units.Seconds
 }
 
 // faultSpan is one interval during which at least one instance was
@@ -377,7 +402,6 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 	e.resetHier()
 	e.now = 0
 	e.seq = 0
-	e.heap = e.heap[:0]
 	e.mtpFactor = 1
 	e.markGen = 0
 	e.prefillQ.reset()
@@ -405,6 +429,7 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 	for i := range e.prefills {
 		e.prefills[i] = prefillUnit{}
 	}
+	e.idlePrefills = nPrefill
 	if cap(e.decodes) < nDecode {
 		next := make([]decodeUnit, nDecode)
 		copy(next, e.decodes[:cap(e.decodes)])
@@ -427,13 +452,30 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 	}
 	e.nextSample = e.sampleStep
 
+	e.events = newEventQueue(cfg.Fleet.Scheduler, e.events)
+	if c, ok := e.events.(*calendarQueue); ok {
+		c.configure(horizon, 2*len(reqs))
+	} else {
+		e.events.reset()
+	}
+
 	if cap(e.arena) < len(reqs) {
 		e.arena = make([]reqState, len(reqs))
 	}
 	e.arena = e.arena[:len(reqs)]
 	for i := range reqs {
 		e.arena[i] = reqState{Request: reqs[i]}
-		e.schedule(reqs[i].Arrival, evArrival, 0, &e.arena[i])
+	}
+
+	if e.shardable(w, nDecode) {
+		if err := e.runSharded(nDecode); err != nil {
+			return nil, err
+		}
+		return e.finishRun()
+	}
+
+	for i := range e.arena {
+		e.schedule(e.arena[i].Arrival, evArrival, 0, &e.arena[i])
 	}
 	if plan := cfg.Resilience.Faults; plan != nil {
 		e.faultReseed(parallel.DeriveSeed(cfg.Seed, 4))
@@ -444,85 +486,104 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 			e.schedule(e.faultRng.ExpFloat64()*plan.MTBF, evFaultRandom, 0, nil)
 		}
 	}
-	for len(e.heap) > 0 {
-		ev := e.heap.pop()
-		e.now = ev.at
-		e.sampleUpTo(e.now)
-		e.metricsUpTo(e.now)
-		switch ev.kind {
-		case evArrival:
-			if e.shouldShed() {
-				e.shed++
-				e.trMark(ev.req, obs.MarkShed)
-			} else {
-				e.trMark(ev.req, obs.MarkArrival)
-				e.trPhaseBegin(ev.req, obs.PhaseQueue, -1)
-				e.prefillQ.push(ev.req)
-			}
-		case evPrefillDone:
-			e.prefillDone(&ev)
-		case evDecodeLand:
-			d := &e.decodes[ev.inst]
-			if d.health == healthDown {
-				// The KV migration arrived at a crashed host: the
-				// request is orphaned mid-hand-off.
-				e.orphan(ev.req)
-				break
-			}
-			e.trPhaseEnd(ev.req)
-			e.trPhaseBegin(ev.req, obs.PhaseQueue, ev.inst)
-			d.pending.push(ev.req)
-			if !d.stepping && !d.prefilling {
-				e.startStep(ev.inst)
-			}
-		case evStepDone:
-			if e.decodes[ev.inst].epoch != ev.epoch {
-				break // scheduled by a crashed incarnation
-			}
-			if err := e.stepDone(ev.inst); err != nil {
-				return nil, err
-			}
-		case evFaultPlanned:
-			fe := cfg.Resilience.Faults.Events[ev.inst]
-			e.applyFault(fe.Kind, fe.Prefill, fe.Instance)
-		case evFaultRandom:
-			e.randomCrash()
-		case evFaultRecover:
-			if ev.inst >= 0 {
-				e.applyFault(FaultRecover, false, ev.inst)
-			} else {
-				e.applyFault(FaultRecover, true, -(ev.inst + 1))
-			}
-		case evRetry:
-			req := ev.req
-			req.resumed = req.generated > 0
-			req.ctx = req.ctxForPrefill()
-			e.trPhaseEnd(req)
-			e.trMark(req, obs.MarkRetry)
-			e.trPhaseBegin(req, obs.PhaseQueue, -1)
-			e.prefillQ.push(req)
-		case evReloadDone:
-			if e.decodes[ev.inst].epoch != ev.epoch {
-				break // scheduled by a crashed incarnation
-			}
-			e.reloadDone(ev.inst, ev.req)
+	for e.events.size() > 0 {
+		ev := e.events.pop()
+		stop, err := e.processEvent(&ev)
+		if err != nil {
+			return nil, err
 		}
-		e.dispatch()
 		// Every request resolved: only maintenance events (fault
 		// schedule entries, MTBF re-arms, repairs) can remain, and the
-		// MTBF chain re-arms itself forever — stop here, not on heap
+		// MTBF chain re-arms itself forever — stop here, not on queue
 		// drain.
-		if len(e.completed)+len(e.failed)+e.shed == len(e.arena) {
+		if stop {
 			break
 		}
 	}
+	return e.finishRun()
+}
+
+// processEvent advances the simulation through one event: clock, the
+// sampling and metrics grids, the event's handler, then a dispatch
+// pass. It returns stop=true once every request is resolved. The serial
+// loop and the sharded coordinator's replay both funnel coordinator
+// events through here, so the two modes cannot drift.
+func (e *Engine) processEvent(ev *event) (stop bool, err error) {
+	e.now = ev.at
+	e.sampleUpTo(e.now)
+	e.metricsUpTo(e.now)
+	switch ev.kind {
+	case evArrival:
+		if e.shouldShed() {
+			e.shed++
+			e.trMark(ev.req, obs.MarkShed)
+		} else {
+			e.trMark(ev.req, obs.MarkArrival)
+			e.trPhaseBegin(ev.req, obs.PhaseQueue, -1)
+			e.prefillQ.push(ev.req)
+		}
+	case evPrefillDone:
+		e.prefillDone(ev)
+	case evDecodeLand:
+		d := &e.decodes[ev.inst]
+		if d.health == healthDown {
+			// The KV migration arrived at a crashed host: the
+			// request is orphaned mid-hand-off.
+			e.orphan(ev.req)
+			break
+		}
+		e.trPhaseEnd(ev.req)
+		e.trPhaseBegin(ev.req, obs.PhaseQueue, ev.inst)
+		d.pending.push(ev.req)
+		if !d.stepping && !d.prefilling {
+			e.startStep(ev.inst)
+		}
+	case evStepDone:
+		if e.decodes[ev.inst].epoch != ev.epoch {
+			break // scheduled by a crashed incarnation
+		}
+		if err := e.stepDone(ev.inst); err != nil {
+			return false, err
+		}
+	case evFaultPlanned:
+		fe := e.cfg.Resilience.Faults.Events[ev.inst]
+		e.applyFault(fe.Kind, fe.Prefill, fe.Instance)
+	case evFaultRandom:
+		e.randomCrash()
+	case evFaultRecover:
+		if ev.inst >= 0 {
+			e.applyFault(FaultRecover, false, ev.inst)
+		} else {
+			e.applyFault(FaultRecover, true, -(ev.inst + 1))
+		}
+	case evRetry:
+		req := ev.req
+		req.resumed = req.generated > 0
+		req.ctx = req.ctxForPrefill()
+		e.trPhaseEnd(req)
+		e.trMark(req, obs.MarkRetry)
+		e.trPhaseBegin(req, obs.PhaseQueue, -1)
+		e.prefillQ.push(req)
+	case evReloadDone:
+		if e.decodes[ev.inst].epoch != ev.epoch {
+			break // scheduled by a crashed incarnation
+		}
+		e.reloadDone(ev.inst, ev.req)
+	}
+	e.dispatch()
+	return len(e.completed)+len(e.failed)+e.shed == len(e.arena), nil
+}
+
+// finishRun closes the run out after the event loop: the open degraded
+// span, the stall check, and report assembly.
+func (e *Engine) finishRun() (*Report, error) {
 	if e.downCount > 0 {
 		e.spans = append(e.spans, faultSpan{start: e.degradedSince, end: e.now})
 		e.downCount = 0
 	}
-	if n := len(e.completed) + len(e.failed) + e.shed; n != len(reqs) {
+	if n := len(e.completed) + len(e.failed) + e.shed; n != len(e.arena) {
 		return nil, fmt.Errorf("servesim: %d of %d requests never completed (scheduling stall)",
-			len(reqs)-n, len(reqs))
+			len(e.arena)-n, len(e.arena))
 	}
 	e.obsEndRun()
 	return e.report(), nil
@@ -530,14 +591,22 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 
 func (e *Engine) schedule(at units.Seconds, kind eventKind, inst int, req *reqState) {
 	e.seq++
-	e.heap.push(event{at: at, seq: e.seq, kind: kind, inst: inst, req: req})
+	ev := event{at: at, seq: e.seq, kind: kind, inst: inst, req: req}
+	if e.sharded && kind >= evFaultPlanned && kind <= evFaultRecover {
+		// Fault transitions are barrier-class under sharding: they mutate
+		// shard-owned instance state, so the coordinator chops windows at
+		// their times and applies them on a quiesced fleet (shard.go).
+		e.barrierQ.push(ev)
+		return
+	}
+	e.events.push(ev)
 }
 
 // scheduleEpoch is schedule for events that must die with the target
 // instance's current incarnation (evStepDone, evPrefillDone).
 func (e *Engine) scheduleEpoch(at units.Seconds, kind eventKind, inst, epoch int, req *reqState) {
 	e.seq++
-	e.heap.push(event{at: at, seq: e.seq, kind: kind, inst: inst, epoch: epoch, req: req})
+	e.events.push(event{at: at, seq: e.seq, kind: kind, inst: inst, epoch: epoch, req: req})
 }
 
 // shouldShed applies the admission policy to one arrival: shed when the
@@ -556,8 +625,13 @@ func (e *Engine) shouldShed() bool {
 		var used, total int
 		for i := range e.decodes {
 			if d := &e.decodes[i]; d.health != healthDown {
-				used += d.kv.used
-				total += d.kv.total
+				if e.sharded {
+					used += e.mirror.used[i]
+					total += e.mirror.total[i]
+				} else {
+					used += d.kv.used
+					total += d.kv.total
+				}
 			}
 		}
 		if total > 0 && float64(used)/float64(total) > a.MaxKVOccupancy {
@@ -574,6 +648,9 @@ func (e *Engine) shouldShed() bool {
 // pull from the shared queue themselves (startStep), so only the fixed
 // scan order applies there. Every path is deterministic.
 func (e *Engine) dispatch() {
+	if e.prefillQ.len() == 0 {
+		return
+	}
 	if e.cfg.Fleet.Colocated {
 		for i := range e.decodes {
 			if e.prefillQ.len() == 0 {
@@ -583,6 +660,9 @@ func (e *Engine) dispatch() {
 				e.startStep(i)
 			}
 		}
+		return
+	}
+	if e.idlePrefills == 0 {
 		return
 	}
 	// Health-aware candidate set: crashed and draining prefill units are
@@ -600,8 +680,20 @@ func (e *Engine) dispatch() {
 		req := e.prefillQ.pop()
 		p := &e.prefills[inst]
 		p.busy = true
+		e.idlePrefills--
 		p.cur = req
 		cost := e.prefillCost(req)
+		if e.sharded {
+			// The post-prefill context is already determined (see
+			// emitFirstToken), so the hand-off's land time is known now.
+			ctxAtDone := req.ctxForPrefill()
+			if !req.resumed {
+				ctxAtDone = req.PromptTokens + 1
+			}
+			transfer := e.cfg.Latency.kvBytesForContext(e.lc, ctxAtDone) / e.cfg.Fleet.TransferBW
+			p.landAt = e.now + cost + transfer
+			e.landPush(p.landAt)
+		}
 		e.trPhaseEnd(req)
 		e.trPhaseBegin(req, obs.PhasePrefill, inst)
 		e.trCompute(cost, true, inst, obs.ComputePrefill, req.ID)
@@ -634,6 +726,9 @@ func (e *Engine) prefillDone(ev *event) {
 	}
 	p.busy = false
 	p.cur = nil
+	if p.health == healthUp {
+		e.idlePrefills++
+	}
 	e.trPhaseEnd(req)
 	e.emitFirstToken(req)
 	if req.remaining() == 0 {
@@ -648,6 +743,17 @@ func (e *Engine) prefillDone(ev *event) {
 	for i := range e.decodes {
 		d := &e.decodes[i]
 		if d.health != healthUp {
+			continue
+		}
+		if e.sharded {
+			// Decode state is shard-owned mid-window; the coordinator
+			// routes off its replay-maintained mirror, which is exact as
+			// of the last merged shard record.
+			loads = append(loads, InstanceLoad{
+				Instance: i,
+				Queue:    e.mirror.pending[i] + e.mirror.active[i],
+				FreeKV:   e.mirror.total[i] - e.mirror.used[i],
+			})
 			continue
 		}
 		loads = append(loads, InstanceLoad{
@@ -668,6 +774,13 @@ func (e *Engine) prefillDone(ev *event) {
 		transfer = e.cfg.Latency.kvBytesForContext(e.lc, req.ctx) / e.cfg.Fleet.TransferBW
 	}
 	e.trPhaseBegin(req, obs.PhaseTransfer, best)
+	if e.sharded {
+		// The land belongs to the owning shard's queue. Shards are parked
+		// while the coordinator replays, so the push is race-free, and the
+		// land time is at or past the next window edge by the landAt bound.
+		e.shardFor(best).scheduleLand(e.now+transfer, best, req)
+		return
+	}
 	e.schedule(e.now+transfer, evDecodeLand, best, req)
 }
 
@@ -858,7 +971,7 @@ func (e *Engine) stepDone(inst int) error {
 			for !d.kv.tryAlloc(need) {
 				victim := e.pickVictim(d, req, gen)
 				if victim == nil {
-					return fmt.Errorf("servesim: KV exhausted with no preemption victim on instance %d", inst)
+					return errNoVictim(inst)
 				}
 				victim.preemptMark = gen
 				nPreempted++
@@ -905,6 +1018,10 @@ func (e *Engine) stepDone(inst int) error {
 	}
 	e.startStep(inst)
 	return nil
+}
+
+func errNoVictim(inst int) error {
+	return fmt.Errorf("servesim: KV exhausted with no preemption victim on instance %d", inst)
 }
 
 // pickVictim selects the latest-admitted unfinished active request
@@ -983,6 +1100,7 @@ func (e *Engine) applyFault(kind FaultKind, prefill bool, inst int) {
 				p.health = healthDraining
 			}
 		}
+		e.recountIdlePrefills()
 		return
 	}
 	d := &e.decodes[inst]
@@ -1057,6 +1175,19 @@ func (e *Engine) crashPrefill(inst int) {
 	p.health = healthDown
 	e.kvLost += inc.KVTokensLost
 	e.incidents = append(e.incidents, inc)
+	e.recountIdlePrefills()
+}
+
+// recountIdlePrefills rebuilds the dispatch candidate count after a
+// fault transition (rare; the hot paths maintain it incrementally).
+func (e *Engine) recountIdlePrefills() {
+	n := 0
+	for i := range e.prefills {
+		if p := &e.prefills[i]; !p.busy && p.health == healthUp {
+			n++
+		}
+	}
+	e.idlePrefills = n
 }
 
 // crashDecode kills a decode (or colocated) instance: the active batch,
@@ -1173,6 +1304,10 @@ func (e *Engine) sampleUpTo(t units.Seconds) {
 // running batch and KV pool usage — shared by the timeline sampler and
 // the metrics registry (fillMetrics).
 func (e *Engine) fleetSnapshot() (batch, used, total int) {
+	if e.sharded {
+		m := &e.mirror
+		return m.batchSum, m.usedSum, m.totalSum
+	}
 	for i := range e.decodes {
 		d := &e.decodes[i]
 		batch += len(d.active)

@@ -1,0 +1,752 @@
+// Sharded execution: a conservative parallel discrete-event engine
+// whose output is byte-identical to the serial loop.
+//
+// The fleet splits along its natural boundary. Decode instances are
+// partitioned round-robin across shards, each shard advancing its own
+// event queue (decode lands, step completions) independently.
+// Everything coupled through shared state stays on the coordinator:
+// arrivals and admission, the shared prefill queue and prefill units,
+// both routers, retries and fault injection, timeline sampling, the
+// metrics registry, and the attached tracer.
+//
+// Time advances in conservative windows [W, H). H is chosen so no
+// coordinator action inside the window can inject an event a shard
+// should already have processed: H never exceeds W plus the minimum
+// prefill duration (prefillTime floors at the weight-streaming roofline,
+// so it is strictly positive), never exceeds any in-flight prefill's
+// hand-off land time (prefillUnit.landAt), and never crosses a fault
+// time. Each cycle, the coordinator (1) applies fault-class events at
+// exactly W on the quiesced fleet, (2) releases the shards to run their
+// events in [W, H) in parallel — each shard appends one replay record
+// per event — and (3) merges the shard records with its own sources
+// (the arrival cursor and its event queue) in canonical time order,
+// applying records to a per-instance mirror of decode state and
+// re-issuing buffered trace hooks, while routing, shedding, sampling and
+// metrics run exactly as the serial loop would have run them.
+//
+// Determinism: events within one queue are totally ordered by (at, seq);
+// across queues the merge orders by time with arrivals first, then
+// coordinator events, then shard records by instance. Cross-queue ties
+// at equal times are measure-zero for continuous (Poisson) arrival
+// processes — the only arrival kind the sharded path accepts; every
+// other configuration (colocation, MTP's per-step shared RNG draws, KV
+// tiers' synchronous shared hierarchy, instantaneous hand-off,
+// trace/uniform arrivals) falls back to the serial loop, which remains
+// the general engine.
+package servesim
+
+import (
+	"math"
+
+	"dsv3/internal/obs"
+	"dsv3/internal/parallel"
+	"dsv3/internal/units"
+)
+
+// fleetMirror is the coordinator's replay-maintained view of decode
+// state: exact as of the last merged record, which is exactly the
+// information a serial engine would have at the same simulated time.
+type fleetMirror struct {
+	active  []int // len(d.active) per decode instance
+	pending []int // d.pending.len() per decode instance
+	used    []int // d.kv.used per decode instance
+	total   []int // d.kv.total per decode instance (static)
+
+	batchSum, usedSum, totalSum int
+}
+
+func (m *fleetMirror) init(decodes []decodeUnit) {
+	n := len(decodes)
+	if cap(m.active) < n {
+		m.active = make([]int, n)
+		m.pending = make([]int, n)
+		m.used = make([]int, n)
+		m.total = make([]int, n)
+	}
+	m.active, m.pending = m.active[:n], m.pending[:n]
+	m.used, m.total = m.used[:n], m.total[:n]
+	m.batchSum, m.usedSum, m.totalSum = 0, 0, 0
+	for i := range decodes {
+		m.active[i], m.pending[i], m.used[i] = 0, 0, 0
+		m.total[i] = decodes[i].kv.total
+		m.totalSum += m.total[i]
+	}
+}
+
+// resyncMirror rebuilds the mirror from the quiesced fleet — called
+// after each fault-class event, which mutates shard-owned state
+// directly (crashDecode frees a pool wholesale).
+func (e *Engine) resyncMirror() {
+	m := &e.mirror
+	m.batchSum, m.usedSum = 0, 0
+	for i := range e.decodes {
+		d := &e.decodes[i]
+		m.active[i] = len(d.active)
+		m.pending[i] = d.pending.len()
+		m.used[i] = d.kv.used
+		m.batchSum += m.active[i]
+		m.usedSum += m.used[i]
+	}
+}
+
+// kvOp is one page-pool mutation on a shard, replayed into the mirror
+// in order; peak marks the allocation instants where the serial engine
+// samples peak occupancy (notePeakOcc).
+type kvOp struct {
+	delta int32
+	peak  bool
+}
+
+// shardRec is one shard event's externally visible effect, applied by
+// the coordinator during replay. Variable-length payloads live in the
+// shard's flat buffers, addressed by [lo, hi) ranges, so a window of
+// records costs no per-record allocation.
+type shardRec struct {
+	at   units.Seconds
+	inst int
+
+	kvLo, kvHi     int32 // into engShard.kvOps
+	doneLo, doneHi int32 // into engShard.dones (completions, in order)
+	reqLo, reqHi   int32 // into engShard.requeues (recompute preemptions)
+	hookLo, hookHi int32 // into engShard.tlog (buffered tracer calls)
+
+	steps, stepBatch, stepTokens int32
+
+	// orphan is the hand-off that landed on a crashed instance (at most
+	// one per record); the coordinator runs the retry policy for it.
+	orphan *reqState
+
+	activeAfter, pendingAfter int32
+}
+
+// engShard is one shard: a partition of the decode fleet plus its own
+// event queue, record buffers, and trace log. Between barriers the
+// shard exclusively owns its instances' mutable state (active set,
+// pending queue, kv pool, stepping flag) and the per-request fields of
+// requests resident on them.
+type engShard struct {
+	e   *Engine
+	id  int
+	n   int // shard count (markGen stride)
+	now units.Seconds
+	hi  units.Seconds // current window end (exclusive)
+	seq int
+	// markGen is this shard's preemption-victim generation, strided so
+	// no two shards ever produce the same value (see servesim.go
+	// markGen): shard id yields id+1, id+1+n, id+1+2n, ...
+	markGen int
+	events  eventQueue
+	err     error
+
+	recs     []shardRec
+	kvOps    []kvOp
+	dones    []*reqState
+	requeues []*reqState
+	tlog     *obs.TraceLog // nil when no tracer is attached
+	cur      *shardRec     // record being built for the current event
+}
+
+func (s *engShard) init(e *Engine, id, n int) {
+	s.e, s.id, s.n = e, id, n
+	s.now, s.hi = 0, 0
+	s.seq = 0
+	s.markGen = id + 1 - n
+	s.err = nil
+	s.events = newEventQueue(e.cfg.Fleet.Scheduler, s.events)
+	if c, ok := s.events.(*calendarQueue); ok {
+		// A shard sees roughly its slice of the run's decode events.
+		c.configure(e.reqs[len(e.reqs)-1].Arrival+1, 2*len(e.reqs)/n)
+	} else {
+		s.events.reset()
+	}
+	s.resetWindow()
+	if e.tracer != nil {
+		if s.tlog == nil {
+			s.tlog = &obs.TraceLog{}
+		}
+		s.tlog.Reset()
+	} else {
+		s.tlog = nil
+	}
+}
+
+// resetWindow clears the record buffers for the next window (their
+// contents were fully consumed by the coordinator's replay).
+func (s *engShard) resetWindow() {
+	s.recs = s.recs[:0]
+	s.kvOps = s.kvOps[:0]
+	clearPtrs(s.dones)
+	s.dones = s.dones[:0]
+	clearPtrs(s.requeues)
+	s.requeues = s.requeues[:0]
+	if s.tlog != nil {
+		s.tlog.Reset()
+	}
+	s.cur = nil
+}
+
+// scheduleLand enqueues a prefill->decode hand-off on this shard.
+// Called by the coordinator during replay, while the shard is parked:
+// the landAt window bound guarantees at >= the next window edge, so the
+// shard has not advanced past it.
+func (s *engShard) scheduleLand(at units.Seconds, inst int, req *reqState) {
+	s.seq++
+	s.events.push(event{at: at, seq: s.seq, kind: evDecodeLand, inst: inst, req: req})
+}
+
+func (s *engShard) scheduleStep(at units.Seconds, inst, epoch int) {
+	s.seq++
+	s.events.push(event{at: at, seq: s.seq, kind: evStepDone, inst: inst, epoch: epoch})
+}
+
+// shardFor returns the shard owning a decode instance (round-robin
+// partition).
+func (e *Engine) shardFor(inst int) *engShard { return &e.shards[inst%len(e.shards)] }
+
+// landPush records a dispatched prefill's hand-off land time on the
+// window-bound heap (plain sift-up on a timestamp slice).
+func (e *Engine) landPush(at units.Seconds) {
+	h := append(e.landHeap, at)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	e.landHeap = h
+}
+
+// landPop drops the earliest land time (its hand-off is already in a
+// shard queue once the window edge reaches it).
+func (e *Engine) landPop() {
+	h := e.landHeap
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		min, l, r := i, 2*i+1, 2*i+2
+		if l < len(h) && h[l] < h[min] {
+			min = l
+		}
+		if r < len(h) && h[r] < h[min] {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	e.landHeap = h
+}
+
+// shardable reports whether this run can take the sharded path: an
+// explicit shard count and a configuration whose couplings all sit at
+// the coordinator boundary. Everything else — including every
+// pre-existing experiment and golden — runs the serial loop unchanged.
+func (e *Engine) shardable(w Workload, nDecode int) bool {
+	f := &e.cfg.Fleet
+	return f.Shards > 1 &&
+		!f.Colocated &&
+		e.cfg.MTP == nil &&
+		len(e.cfg.KV.Tiers) == 0 &&
+		f.TransferBW > 0 &&
+		w.Arrival == ArrivalPoisson &&
+		nDecode > 1 &&
+		e.cfg.Latency.prefillTime(e.lc, 1) > 0
+}
+
+// openRec starts the record for one shard event.
+func (s *engShard) openRec(at units.Seconds, inst int) {
+	lo32 := int32(len(s.kvOps))
+	d32 := int32(len(s.dones))
+	r32 := int32(len(s.requeues))
+	var h32 int32
+	if s.tlog != nil {
+		h32 = int32(s.tlog.Len())
+	}
+	s.recs = append(s.recs, shardRec{
+		at: at, inst: inst,
+		kvLo: lo32, kvHi: lo32,
+		doneLo: d32, doneHi: d32,
+		reqLo: r32, reqHi: r32,
+		hookLo: h32, hookHi: h32,
+	})
+	s.cur = &s.recs[len(s.recs)-1]
+}
+
+// closeRec finalizes the current record's ranges and post-event
+// instance snapshot.
+func (s *engShard) closeRec(d *decodeUnit) {
+	r := s.cur
+	r.kvHi = int32(len(s.kvOps))
+	r.doneHi = int32(len(s.dones))
+	r.reqHi = int32(len(s.requeues))
+	if s.tlog != nil {
+		r.hookHi = int32(s.tlog.Len())
+	}
+	r.activeAfter = int32(len(d.active))
+	r.pendingAfter = int32(d.pending.len())
+	s.cur = nil
+}
+
+func (s *engShard) kvOp(delta int, peak bool) {
+	s.kvOps = append(s.kvOps, kvOp{delta: int32(delta), peak: peak})
+}
+
+// Buffered tracer hooks — the shard-side mirrors of trPhaseBegin &co.
+// They append to the shard's TraceLog; the coordinator replays each
+// record's range into the real tracer in merge order.
+
+func (s *engShard) hPhaseBegin(req *reqState, ph obs.Phase, inst int) {
+	if s.tlog != nil {
+		s.tlog.PhaseBegin(s.now, reqInfo(req), ph, inst)
+	}
+}
+
+func (s *engShard) hPhaseEnd(req *reqState) {
+	if s.tlog != nil {
+		s.tlog.PhaseEnd(s.now, req.ID)
+	}
+}
+
+func (s *engShard) hMark(req *reqState, m obs.Mark) {
+	if s.tlog != nil {
+		s.tlog.Mark(s.now, reqInfo(req), m)
+	}
+}
+
+func (s *engShard) hCompute(dur units.Seconds, inst int, v int) {
+	if s.tlog != nil {
+		s.tlog.Compute(s.now, dur, false, inst, obs.ComputeDecodeStep, v)
+	}
+}
+
+// runWindow advances the shard through every local event in [now, hi).
+func (s *engShard) runWindow() {
+	for s.err == nil && s.events.size() > 0 && s.events.nextAt() < s.hi {
+		ev := s.events.pop()
+		s.now = ev.at
+		switch ev.kind {
+		case evDecodeLand:
+			s.land(&ev)
+		case evStepDone:
+			if s.e.decodes[ev.inst].epoch != ev.epoch {
+				break // scheduled by a crashed incarnation
+			}
+			s.stepDone(ev.inst)
+		}
+	}
+}
+
+// land mirrors the serial evDecodeLand handler for the tier-free
+// disaggregated path.
+func (s *engShard) land(ev *event) {
+	d := &s.e.decodes[ev.inst]
+	s.openRec(ev.at, ev.inst)
+	if d.health == healthDown {
+		// Dead hand-off: the retry policy is coordinator state, so the
+		// orphan is recorded and resolved during replay (its hooks fire
+		// there, matching the serial call sequence).
+		s.cur.orphan = ev.req
+		s.closeRec(d)
+		return
+	}
+	s.hPhaseEnd(ev.req)
+	s.hPhaseBegin(ev.req, obs.PhaseQueue, ev.inst)
+	d.pending.push(ev.req)
+	if !d.stepping {
+		s.startStep(ev.inst)
+	}
+	s.closeRec(d)
+}
+
+// startStep mirrors the serial startStep for the tier-free
+// disaggregated path: FIFO admission while batch slots and pages allow,
+// then one continuous-batching step.
+func (s *engShard) startStep(inst int) {
+	e := s.e
+	d := &e.decodes[inst]
+	for len(d.active) < e.cfg.Fleet.MaxBatch && d.pending.len() > 0 {
+		req := d.pending.peek()
+		pages := e.cfg.KV.HBM.PagesFor(req.ctx)
+		if !d.kv.tryAlloc(pages) {
+			break
+		}
+		req.pages = pages
+		d.admitCounter++
+		req.admitSeq = d.admitCounter
+		d.pending.pop()
+		s.hPhaseEnd(req)
+		s.hPhaseBegin(req, obs.PhaseDecode, inst)
+		d.active = append(d.active, req)
+		s.kvOp(pages, true)
+	}
+	if len(d.active) == 0 {
+		d.stepping = false
+		return
+	}
+
+	var attn batchAttention
+	for _, req := range d.active {
+		e.cfg.Latency.addContextC(e.lc, &attn, req.ctx)
+	}
+	dt := e.cfg.Latency.decodeStepTime(e.lc, len(d.active), attn) * e.mtpFactor
+	d.stepping = true
+	d.sincePrefill++
+	s.cur.steps++
+	s.cur.stepBatch += int32(len(d.active))
+	s.hCompute(dt, inst, len(d.active))
+	s.scheduleStep(s.now+dt, inst, d.epoch)
+}
+
+// stepDone mirrors the serial stepDone for the tier-free disaggregated
+// path (MTP is serial-only, so emission is exactly one token).
+func (s *engShard) stepDone(inst int) {
+	e := s.e
+	d := &e.decodes[inst]
+	s.openRec(s.now, inst)
+	for _, req := range d.active {
+		emitted := 1
+		if emitted > req.remaining() {
+			emitted = req.remaining()
+		}
+		req.generated += emitted
+		s.cur.stepTokens += int32(emitted)
+		req.ctx += emitted
+	}
+
+	unfinished := d.active[:0]
+	for _, req := range d.active {
+		if req.remaining() == 0 {
+			d.kv.release(req.pages)
+			s.kvOp(-req.pages, false)
+			req.pages = 0
+			req.done = s.now
+			s.hPhaseEnd(req)
+			s.hMark(req, obs.MarkComplete)
+			s.dones = append(s.dones, req)
+		} else {
+			unfinished = append(unfinished, req)
+		}
+	}
+	for i := len(unfinished); i < len(d.active); i++ {
+		d.active[i] = nil
+	}
+	d.active = unfinished
+
+	s.markGen += s.n
+	gen := s.markGen
+	nPreempted := 0
+	for _, req := range d.active {
+		if req.preemptMark == gen {
+			continue
+		}
+		if need := e.cfg.KV.HBM.PagesFor(req.ctx) - req.pages; need > 0 {
+			for !d.kv.tryAlloc(need) {
+				victim := e.pickVictim(d, req, gen)
+				if victim == nil {
+					s.err = errNoVictim(inst)
+					s.closeRec(d)
+					return
+				}
+				victim.preemptMark = gen
+				nPreempted++
+				d.kv.release(victim.pages)
+				s.kvOp(-victim.pages, false)
+				victim.pages = 0
+			}
+			req.pages += need
+			s.kvOp(need, true)
+		}
+	}
+
+	if nPreempted > 0 {
+		keep := d.active[:0]
+		for _, req := range d.active {
+			if req.preemptMark == gen {
+				// Recompute preemption (tiers are off, so no offload):
+				// the request rejoins the coordinator's prefill queue at
+				// replay.
+				req.resumed = true
+				req.preempted++
+				s.hPhaseEnd(req)
+				s.hMark(req, obs.MarkPreempt)
+				s.hPhaseBegin(req, obs.PhaseQueue, -1)
+				req.ctx = req.ctxForPrefill()
+				s.requeues = append(s.requeues, req)
+			} else {
+				keep = append(keep, req)
+			}
+		}
+		for i := len(keep); i < len(d.active); i++ {
+			d.active[i] = nil
+		}
+		d.active = keep
+	}
+	s.startStep(inst)
+	s.closeRec(d)
+}
+
+// runSharded is the coordinator loop (see the package comment at the
+// top of this file for the cycle structure). It leaves the engine in
+// the same terminal state the serial loop would; Run calls finishRun
+// for the common epilogue.
+func (e *Engine) runSharded(nDecode int) error {
+	nShards := e.cfg.Fleet.Shards
+	if nShards > nDecode {
+		nShards = nDecode
+	}
+	if nShards > maxShards {
+		nShards = maxShards
+	}
+	e.sharded = true
+	defer func() { e.sharded = false }()
+	e.barrierQ.reset()
+	e.landHeap = e.landHeap[:0]
+	e.mirror.init(e.decodes)
+	if cap(e.shards) < nShards {
+		next := make([]engShard, nShards)
+		copy(next, e.shards[:cap(e.shards)])
+		e.shards = next
+	}
+	e.shards = e.shards[:nShards]
+	for i := range e.shards {
+		e.shards[i].init(e, i, nShards)
+	}
+	if plan := e.cfg.Resilience.Faults; plan != nil {
+		e.faultReseed(parallel.DeriveSeed(e.cfg.Seed, 4))
+		for i := range plan.Events {
+			e.schedule(plan.Events[i].At, evFaultPlanned, i, nil)
+		}
+		if plan.MTBF > 0 {
+			e.schedule(e.faultRng.ExpFloat64()*plan.MTBF, evFaultRandom, 0, nil)
+		}
+	}
+
+	// The guaranteed window width: any prefill dispatched at or after W
+	// lands no earlier than W + prefillTime(tokens) with tokens at least
+	// the smallest prompt in the arena — fresh dispatches cover the full
+	// prompt and resumed ones (retry, preemption recompute) at least that
+	// (ctxForPrefill >= PromptTokens; prefillTime is monotone in tokens).
+	minPrompt := 1
+	if len(e.arena) > 0 {
+		minPrompt = e.arena[0].PromptTokens
+		for i := range e.arena {
+			if p := e.arena[i].PromptTokens; p < minPrompt {
+				minPrompt = p
+			}
+		}
+	}
+	floor := e.cfg.Latency.prefillTime(e.lc, minPrompt)
+	inf := units.Seconds(math.Inf(1))
+	group := parallel.NewShardGroup(nShards, func(si int) { e.shards[si].runWindow() })
+	defer group.Close()
+
+	arr := 0
+	for {
+		// Next pending activity across every source.
+		next := inf
+		if arr < len(e.arena) {
+			next = e.arena[arr].Arrival
+		}
+		if e.events.size() > 0 {
+			if t := e.events.nextAt(); t < next {
+				next = t
+			}
+		}
+		if e.barrierQ.size() > 0 {
+			if t := e.barrierQ.nextAt(); t < next {
+				next = t
+			}
+		}
+		for i := range e.shards {
+			if s := &e.shards[i]; s.events.size() > 0 {
+				if t := s.events.nextAt(); t < next {
+					next = t
+				}
+			}
+		}
+		if math.IsInf(float64(next), 1) {
+			return nil // drained; finishRun reports any stall
+		}
+		w := next
+
+		// (1) Fault-class events at exactly W, on the quiesced fleet.
+		stop := false
+		for e.barrierQ.size() > 0 && e.barrierQ.nextAt() == w {
+			ev := e.barrierQ.pop()
+			done, err := e.processEvent(&ev)
+			if err != nil {
+				return err
+			}
+			e.resyncMirror()
+			if done {
+				stop = true
+				break
+			}
+		}
+		if stop {
+			return nil
+		}
+
+		// Window end: the prefill floor, capped by in-flight hand-off
+		// land times and the next fault time. A busy prefill's land is
+		// strictly after W (its completion event is at or after W, the
+		// transfer strictly positive), so popping stale entries at or
+		// before W never discards a live bound.
+		h := w + floor
+		if e.barrierQ.size() > 0 {
+			if t := e.barrierQ.nextAt(); t < h {
+				h = t
+			}
+		}
+		for len(e.landHeap) > 0 && e.landHeap[0] <= w {
+			e.landPop()
+		}
+		if len(e.landHeap) > 0 && e.landHeap[0] < h {
+			h = e.landHeap[0]
+		}
+
+		// (2) Parallel shard phase over [W, H).
+		work := false
+		for i := range e.shards {
+			s := &e.shards[i]
+			s.hi = h
+			s.resetWindow()
+			if s.events.size() > 0 && s.events.nextAt() < h {
+				work = true
+			}
+		}
+		if work {
+			group.Step()
+			for i := range e.shards {
+				if err := e.shards[i].err; err != nil {
+					return err
+				}
+			}
+		}
+
+		// (3) Canonical-order replay of [W, H).
+		stop, err := e.replayWindow(h, &arr)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+}
+
+// maxShards caps the shard count (replay cursors live in a fixed-size
+// stack array); far beyond any sensible core count.
+const maxShards = 64
+
+// shardCursors tracks per-shard replay positions without allocating.
+type shardCursors struct{ pos [maxShards]int }
+
+// replayWindow merges the window's shard records with the coordinator's
+// own sources — the arrival cursor and its event queue — in time order
+// (ties: arrivals, then coordinator events, then shard records by
+// instance) and applies each item exactly as the serial loop would.
+func (e *Engine) replayWindow(hi units.Seconds, arr *int) (bool, error) {
+	var cur shardCursors
+	for {
+		bestT := hi
+		src := -1 // 0 arrival, 1 events, 2+i shard i
+		if *arr < len(e.arena) && e.arena[*arr].Arrival < bestT {
+			bestT = e.arena[*arr].Arrival
+			src = 0
+		}
+		if e.events.size() > 0 {
+			if t := e.events.nextAt(); t < bestT {
+				bestT = t
+				src = 1
+			}
+		}
+		bestInst := -1
+		for i := range e.shards {
+			s := &e.shards[i]
+			if cur.pos[i] >= len(s.recs) {
+				continue
+			}
+			r := &s.recs[cur.pos[i]]
+			if r.at < bestT || (src >= 2 && r.at == bestT && r.inst < bestInst) {
+				bestT = r.at
+				src = 2 + i
+				bestInst = r.inst
+			}
+		}
+		if src < 0 {
+			return false, nil
+		}
+		switch src {
+		case 0:
+			ev := event{at: bestT, kind: evArrival, req: &e.arena[*arr]}
+			*arr++
+			if stop, err := e.processEvent(&ev); err != nil || stop {
+				return stop, err
+			}
+		case 1:
+			ev := e.events.pop()
+			if stop, err := e.processEvent(&ev); err != nil || stop {
+				return stop, err
+			}
+		default:
+			s := &e.shards[src-2]
+			rec := &s.recs[cur.pos[src-2]]
+			cur.pos[src-2]++
+			if stop, err := e.replayRec(s, rec); err != nil || stop {
+				return stop, err
+			}
+		}
+	}
+}
+
+// replayRec applies one shard record at the coordinator: grids, trace
+// hooks, mirror and counter deltas, completions, requeues, orphans —
+// then the dispatch pass and termination check, exactly like
+// processEvent.
+func (e *Engine) replayRec(s *engShard, rec *shardRec) (bool, error) {
+	e.now = rec.at
+	e.sampleUpTo(e.now)
+	e.metricsUpTo(e.now)
+	if e.tracer != nil && s.tlog != nil {
+		s.tlog.Replay(e.tracer, int(rec.hookLo), int(rec.hookHi))
+	}
+	m := &e.mirror
+	inst := rec.inst
+	for i := rec.kvLo; i < rec.kvHi; i++ {
+		op := &s.kvOps[i]
+		m.used[inst] += int(op.delta)
+		m.usedSum += int(op.delta)
+		if op.peak && m.totalSum > 0 {
+			if occ := float64(m.usedSum) / float64(m.totalSum); occ > e.peakOcc {
+				e.peakOcc = occ
+			}
+		}
+	}
+	for i := rec.doneLo; i < rec.doneHi; i++ {
+		e.completed = append(e.completed, s.dones[i])
+	}
+	for i := rec.reqLo; i < rec.reqHi; i++ {
+		req := s.requeues[i]
+		e.preempts++
+		e.prefillQ.push(req)
+	}
+	e.steps += int(rec.steps)
+	e.stepBatch += int(rec.stepBatch)
+	e.stepTokens += int(rec.stepTokens)
+	m.batchSum += int(rec.activeAfter) - m.active[inst]
+	m.active[inst] = int(rec.activeAfter)
+	m.pending[inst] = int(rec.pendingAfter)
+	if rec.orphan != nil {
+		e.orphan(rec.orphan)
+	}
+	e.dispatch()
+	return len(e.completed)+len(e.failed)+e.shed == len(e.arena), nil
+}

@@ -1,0 +1,188 @@
+package servesim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dsv3/internal/obs"
+	"dsv3/internal/units"
+)
+
+// shardParityFleet is a disaggregated fleet wide enough for 8 real
+// shards, under enough load to exercise routing, preemption, admission
+// shedding, crashes, retries and recovery on the sharded path.
+func shardParityConfig() Config {
+	cfg := V3ServeConfig()
+	cfg.Fleet.PrefillInstances = 4
+	cfg.Fleet.DecodeInstances = 12
+	cfg.Fleet.MaxBatch = 24
+	cfg.Fleet.Router = RoutePowerOfTwo
+	cfg.KV.HBM.CapacityBytes = 0.5 * units.GB // tight pool: preemption pressure
+	cfg.Resilience.Retry = DefaultRetryPolicy()
+	cfg.Resilience.Admission = AdmissionPolicy{MaxQueueDepth: 600, MaxKVOccupancy: 0.995}
+	cfg.Resilience.Faults = &FaultPlan{
+		Events: []FaultEvent{
+			{At: 4, Kind: FaultCrash, Instance: 3},
+			{At: 6, Kind: FaultDrain, Instance: 7},
+			{At: 9, Kind: FaultRecover, Instance: 3},
+			{At: 11, Kind: FaultRecover, Instance: 7},
+			{At: 5, Kind: FaultCrash, Prefill: true, Instance: 1},
+			{At: 8, Kind: FaultRecover, Prefill: true, Instance: 1},
+		},
+	}
+	cfg.Seed = 11
+	return cfg
+}
+
+func shardParityWorkload() Workload {
+	return Workload{
+		Arrival:    ArrivalPoisson,
+		RatePerSec: 40,
+		Requests:   900,
+		Prompt:     LogNormal(640, 0.6),
+		Output:     LogNormal(192, 0.5),
+	}
+}
+
+// runOutputs executes one run with tracer + metrics attached and
+// returns (report JSON, trace JSON, metrics CSV) bytes.
+func runOutputs(t *testing.T, e *Engine, cfg Config, w Workload) ([]byte, []byte, []byte) {
+	t.Helper()
+	rec := obs.NewTraceRecorder()
+	reg := obs.NewRegistry(0.25)
+	e.AttachTracer(rec)
+	e.AttachMetrics(reg)
+	rep, err := e.Run(cfg, w)
+	if err != nil {
+		t.Fatalf("Run(shards=%d): %v", cfg.Fleet.Shards, err)
+	}
+	repJS, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	var tr, ms bytes.Buffer
+	if err := rec.WriteJSON(&tr); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if err := reg.WriteCSV(&ms); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	return repJS, tr.Bytes(), ms.Bytes()
+}
+
+// TestShardCountParity pins the tentpole determinism contract: report,
+// trace, and metrics bytes are identical for shards ∈ {serial, 1, 2, 8}
+// on a genuinely parallel configuration (faults, retries, shedding,
+// preemption, tracing and metrics all active).
+func TestShardCountParity(t *testing.T) {
+	w := shardParityWorkload()
+	base := shardParityConfig()
+	wantRep, wantTr, wantMs := runOutputs(t, NewEngine(), base, w)
+
+	for _, shards := range []int{1, 2, 8} {
+		cfg := base
+		cfg.Fleet.Shards = shards
+		gotRep, gotTr, gotMs := runOutputs(t, NewEngine(), cfg, w)
+		if !bytes.Equal(wantRep, gotRep) {
+			t.Errorf("shards=%d: report bytes differ from serial", shards)
+		}
+		if !bytes.Equal(wantTr, gotTr) {
+			t.Errorf("shards=%d: trace bytes differ from serial", shards)
+		}
+		if !bytes.Equal(wantMs, gotMs) {
+			t.Errorf("shards=%d: metrics bytes differ from serial", shards)
+		}
+	}
+}
+
+// TestShardParityPooledEngine reruns the sharded configuration on one
+// pooled engine, interleaved with a serial run, and requires every
+// output byte to match a fresh engine's.
+func TestShardParityPooledEngine(t *testing.T) {
+	w := shardParityWorkload()
+	cfg := shardParityConfig()
+	cfg.Fleet.Shards = 8
+
+	wantRep, wantTr, wantMs := runOutputs(t, NewEngine(), cfg, w)
+	pooled := NewEngine()
+	for round := 0; round < 2; round++ {
+		gotRep, gotTr, gotMs := runOutputs(t, pooled, cfg, w)
+		if !bytes.Equal(wantRep, gotRep) || !bytes.Equal(wantTr, gotTr) || !bytes.Equal(wantMs, gotMs) {
+			t.Fatalf("pooled round %d: output bytes differ from fresh engine", round)
+		}
+		serial := cfg
+		serial.Fleet.Shards = 0
+		if _, err := pooled.Run(serial, w); err != nil {
+			t.Fatalf("interleaved serial run: %v", err)
+		}
+	}
+}
+
+// TestShardParityTiered pins the fallback contract: with KV tiers +
+// prefix cache + fault plan + tracing enabled the engine runs serial
+// regardless of Shards, so outputs are trivially identical across shard
+// counts — and the run must still succeed with Shards set.
+func TestShardParityTiered(t *testing.T) {
+	cfg := shardParityConfig()
+	cfg.KV.ChunkTokens = 256
+	cfg.KV.Tiers = []KVTierConfig{
+		{Name: "dram", CapacityBytes: 2 * units.GB, ReadBW: 80 * units.GB, WriteBW: 80 * units.GB},
+		{Name: "flash", CapacityBytes: 8 * units.GB, ReadBW: 8 * units.GB, WriteBW: 8 * units.GB},
+	}
+	cfg.KV.PrefixCache = true
+	w := shardParityWorkload()
+	w.Turns = 3
+	w.ThinkTime = 1.5
+
+	wantRep, wantTr, wantMs := runOutputs(t, NewEngine(), cfg, w)
+	for _, shards := range []int{1, 2, 8} {
+		c := cfg
+		c.Fleet.Shards = shards
+		gotRep, gotTr, gotMs := runOutputs(t, NewEngine(), c, w)
+		if !bytes.Equal(wantRep, gotRep) || !bytes.Equal(wantTr, gotTr) || !bytes.Equal(wantMs, gotMs) {
+			t.Errorf("tiered shards=%d: output bytes differ", shards)
+		}
+	}
+}
+
+// TestShardSchedulerParity: the calendar queue produces the same bytes
+// as the heap on both the serial and the sharded paths.
+func TestShardSchedulerParity(t *testing.T) {
+	w := shardParityWorkload()
+	for _, shards := range []int{0, 8} {
+		cfg := shardParityConfig()
+		cfg.Fleet.Shards = shards
+		wantRep, wantTr, wantMs := runOutputs(t, NewEngine(), cfg, w)
+		cal := cfg
+		cal.Fleet.Scheduler = SchedCalendar
+		gotRep, gotTr, gotMs := runOutputs(t, NewEngine(), cal, w)
+		if !bytes.Equal(wantRep, gotRep) || !bytes.Equal(wantTr, gotTr) || !bytes.Equal(wantMs, gotMs) {
+			t.Errorf("shards=%d: calendar scheduler bytes differ from heap", shards)
+		}
+	}
+}
+
+// TestShardClampAndFallback: shard counts beyond the decode fleet
+// clamp; unshardable configurations run serial and still succeed.
+func TestShardClampAndFallback(t *testing.T) {
+	w := shardParityWorkload()
+	cfg := shardParityConfig()
+	cfg.Fleet.Shards = 100 // > 12 decodes: clamps
+	if _, err := NewEngine().Run(cfg, w); err != nil {
+		t.Fatalf("clamped shards: %v", err)
+	}
+
+	colo := V3ServeConfig()
+	colo.Fleet.Colocated = true
+	colo.Fleet.Shards = 4
+	cw := Workload{Arrival: ArrivalPoisson, RatePerSec: 4, Requests: 60,
+		Prompt: LogNormal(256, 0.4), Output: LogNormal(64, 0.4)}
+	if _, err := NewEngine().Run(colo, cw); err != nil {
+		t.Fatalf("colocated fallback: %v", err)
+	}
+
+	if err := (FleetConfig{PrefillInstances: 1, DecodeInstances: 1, MaxBatch: 1, Shards: -1}).Validate(); err == nil {
+		t.Fatal("negative shard count passed validation")
+	}
+}

@@ -8,7 +8,7 @@
 # Budgets (see DESIGN.md "Performance engineering"):
 #   BenchmarkGateRoute     0  — MoE routing hot path, fully scratch-backed
 #   BenchmarkE4M3Quantize  0  — FP8 quantization kernel, in-place
-#   BenchmarkServeEngine   8  — one serving run on a warm engine:
+#   BenchmarkServeEngine   6  — one serving run on a warm engine:
 #                               the Report + its Timeline copy + the
 #                               workload RNG/stepper closures
 #   BenchmarkServeEngineTiered 10 — the same run with KV tiers, sessions
@@ -21,19 +21,33 @@
 #                               buffers, so the overhead is O(1) per run
 #                               (the per-tier metric-name strings), not
 #                               per event
+#   BenchmarkServeFleet    48 — the 1000-instance sharded run on a warm
+#                               engine; the extra allocs over the serial
+#                               engine are the per-run shard group (its
+#                               goroutines and channels) plus per-shard
+#                               calendar re-bucketing
+#   BenchmarkEventQueue/*  0  — a steady-state hold op (pop + push) on
+#                               either scheduler touches only retained
+#                               buckets/heap storage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 budgets="
 BenchmarkGateRoute 0
 BenchmarkE4M3Quantize 0
-BenchmarkServeEngine 8
+BenchmarkServeEngine 6
 BenchmarkServeEngineTiered 10
 BenchmarkServeEngineTraced 20
+BenchmarkServeFleet 48
+BenchmarkEventQueue/heap/n=100000 0
+BenchmarkEventQueue/heap/n=1000000 0
+BenchmarkEventQueue/calendar/n=100000 0
+BenchmarkEventQueue/calendar/n=1000000 0
 "
 
-pattern="$(awk 'NF { printf "%s%s", sep, $1; sep = "|" }' <<<"$budgets")"
-out="$(go test -run=NONE -bench="^(${pattern})\$" -benchmem -benchtime=1x .)"
+pattern="$(awk 'NF && $1 !~ /\// { printf "%s%s", sep, $1; sep = "|" }' <<<"$budgets")"
+out="$(go test -run=NONE -bench="^(${pattern})\$" -benchmem -benchtime=1x .
+       go test -run=NONE -bench='^BenchmarkEventQueue$' -benchmem -benchtime=1x ./internal/servesim)"
 echo "$out"
 
 status=0
