@@ -386,6 +386,54 @@ func BenchmarkServeEngineTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkServeEngineHazard measures the serving unit of work with
+// the full cross-layer hazard stack live: a plane degrade/heal pair, a
+// 0.1% SDC rate paying Freivalds verification every step, EWMA
+// gray-failure detection with quarantine repair, p95-tracked hedging,
+// and retries. Hazard state is engine-owned and recycled (counter
+// slices, the hedge clone pool, the EWMA trackers), so the marginal
+// allocation budget over the clean engine stays pinned in
+// scripts/alloc_gate.sh.
+func BenchmarkServeEngineHazard(b *testing.B) {
+	cfg := V3ServeConfig()
+	cfg.KV.HBM.CapacityBytes = 0.4e9
+	cfg.Resilience.Hazards = &ServeHazardPlan{
+		Planes: []ServePlaneHazardEvent{
+			{At: 4, Instance: 1, FailedPlanes: 6, TotalPlanes: 8},
+			{At: 16, Heal: true, Instance: 1},
+		},
+		SDCRate:          0.001,
+		VerifyTrials:     8,
+		Detect:           ServeDetectionConfig{Threshold: 1.25},
+		QuarantineRepair: 4,
+	}
+	cfg.Resilience.Hedge = ServeHedgePolicy{Delay: 4, TrackP95: true}
+	cfg.Resilience.Retry = DefaultServeRetryPolicy()
+	w := ServeWorkload{
+		Arrival:    ArrivalPoisson,
+		RatePerSec: 5,
+		Requests:   200,
+		Prompt:     LogNormalLength(1024, 0.5),
+		Output:     LogNormalLength(512, 0.5),
+	}
+	eng := NewServeEngine()
+	rep, err := eng.Run(cfg, w) // warm the pools
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.CorruptSteps == 0 || rep.Hedges == 0 {
+		b.Fatalf("hazards sparse (sdc=%d hedges=%d); benchmark would not cover them",
+			rep.CorruptSteps, rep.Hedges)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(cfg, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkServeFleet measures the fleet-scale unit of work: the
 // 1000-instance reference deployment (600 prefill + 400 decode, sharded
 // event loop, calendar queue) absorbing a scaled-down slice of the

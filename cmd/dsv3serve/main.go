@@ -40,6 +40,16 @@
 //	                                       #   (kind@seconds:target, target dN/pN)
 //	dsv3serve -mtbf 30 -mttr 5             # random crashes (mean secs between
 //	                                       #   failures / to repair)
+//	dsv3serve -hazard degrade@4:d1:6/8,heal@16:d1
+//	                                       # plane-failure bandwidth derates
+//	                                       #   (failed/total planes on dN/pN)
+//	dsv3serve -sdc 0.001 -verify-trials 8  # silent corruption per decode step,
+//	                                       #   caught by Freivalds verification
+//	dsv3serve -detect 1.25 -quarantine-repair 4
+//	                                       # EWMA gray-failure draining and
+//	                                       #   quarantine repair time (s)
+//	dsv3serve -hedge p95:0.3               # hedged requests: fixed seconds or
+//	                                       #   p95:floor tracked delay
 //	dsv3serve -retries 3                   # retry budget for orphaned requests
 //	dsv3serve -admission queue=24,kv=0.85  # shed arrivals past these bounds
 //	dsv3serve -format json                 # structured output
@@ -93,6 +103,12 @@ func main() {
 	failSpec := flag.String("fail", "", "scheduled faults: kind@seconds:target list (e.g. crash@6:d1,recover@14:d1; kinds crash/recover/drain, targets dN/pN)")
 	mtbf := flag.Float64("mtbf", 0, "mean seconds between random instance crashes (0 disables)")
 	mttr := flag.Float64("mttr", 0, "mean seconds to repair an MTBF crash (0 leaves instances down)")
+	hazardSpec := flag.String("hazard", "", "scheduled plane hazards: degrade@seconds:target:failed[/total] and heal@seconds:target list (e.g. degrade@4:d1:6/8,heal@16:d1; targets dN/pN)")
+	sdcRate := flag.Float64("sdc", 0, "silent-corruption probability per decode step (0 disables)")
+	verifyTrials := flag.Int("verify-trials", 0, "Freivalds verification trials per decode step: detects a corrupt step with prob 1-2^-trials at one GEMV-equivalent per trial (0 disables)")
+	detect := flag.Float64("detect", 0, "gray-failure threshold: drain an instance whose EWMA step-time ratio exceeds this multiple of the fleet median (0 disables; sensible values > 1)")
+	quarantineRepair := flag.Float64("quarantine-repair", 0, "seconds to repair an instance quarantined after a detected corruption (0 leaves it down)")
+	hedgeSpec := flag.String("hedge", "", "hedged requests: fixed delay seconds (e.g. 0.5) or p95:floor tracked delay (e.g. p95:0.3); empty disables")
 	retries := flag.Int("retries", 0, "retry budget for requests orphaned by a crash (exponential backoff)")
 	admissionSpec := flag.String("admission", "", "admission policy: queue=N and/or kv=F (e.g. queue=24,kv=0.85); empty admits everything")
 	seed := flag.Int64("seed", 1, "base RNG seed")
@@ -183,7 +199,29 @@ func main() {
 		}
 		cfg.Resilience.Admission = adm
 	}
-	faulty := cfg.Resilience.Faults != nil || *admissionSpec != "" || *retries > 0
+	if *hazardSpec != "" || *sdcRate > 0 || *verifyTrials > 0 || *detect > 0 || *quarantineRepair > 0 {
+		plan := &dsv3.ServeHazardPlan{
+			SDCRate:          *sdcRate,
+			VerifyTrials:     *verifyTrials,
+			Detect:           dsv3.ServeDetectionConfig{Threshold: *detect},
+			QuarantineRepair: *quarantineRepair,
+		}
+		if *hazardSpec != "" {
+			plan.Planes, err = dsv3.ParseServeHazardEvents(*hazardSpec)
+			if err != nil {
+				fail(err)
+			}
+		}
+		cfg.Resilience.Hazards = plan
+	}
+	if *hedgeSpec != "" {
+		cfg.Resilience.Hedge, err = dsv3.ParseServeHedgePolicy(*hedgeSpec)
+		if err != nil {
+			fail(err)
+		}
+	}
+	hazardous := cfg.Resilience.Hazards != nil || *hedgeSpec != ""
+	faulty := cfg.Resilience.Faults != nil || *admissionSpec != "" || *retries > 0 || hazardous
 
 	observing := *traceOut != "" || *metricsOut != ""
 	if observing {
@@ -307,7 +345,7 @@ func main() {
 		}
 	}
 
-	res := buildResult(pts, *tracePath != "", *timeline, faulty, *seed)
+	res := buildResult(pts, *tracePath != "", *timeline, faulty, hazardous, *seed)
 	if !*deterministic {
 		res.Meta.WallTime = time.Since(start)
 	}
@@ -455,8 +493,9 @@ func buildCapacityResult(res *dsv3.ServeCapacityResult, target float64, seed int
 
 // buildResult packs the sweep into the shared results model so every
 // emitter (text/json/csv) works unchanged. With faults or admission
-// configured it appends failure-mode and incident tables.
-func buildResult(pts []dsv3.ServeSweepPoint, traced, timeline, faulty bool, seed int64) *dsv3.ExperimentResult {
+// configured it appends failure-mode and incident tables; with hazards
+// or hedging, the hazard summary.
+func buildResult(pts []dsv3.ServeSweepPoint, traced, timeline, faulty, hazardous bool, seed int64) *dsv3.ExperimentResult {
 	t := dsv3.NewExperimentTable("Serving simulation",
 		dsv3.ExperimentColumn{Name: "Rate", Unit: "req/s"},
 		dsv3.ExperimentColumn{Name: "Completed"},
@@ -497,6 +536,9 @@ func buildResult(pts []dsv3.ServeSweepPoint, traced, timeline, faulty bool, seed
 	}
 	if faulty {
 		tables = append(tables, buildFailureTables(pts, traced)...)
+	}
+	if hazardous {
+		tables = append(tables, buildHazardTable(pts, traced))
 	}
 	if timeline {
 		for i, p := range pts {
@@ -601,6 +643,7 @@ func buildFailureTables(pts []dsv3.ServeSweepPoint, traced bool) []*dsv3.Experim
 			dsv3.ExperimentColumn{Name: "Rate", Unit: "req/s"},
 			dsv3.ExperimentColumn{Name: "At", Unit: "s"},
 			dsv3.ExperimentColumn{Name: "Instance"},
+			dsv3.ExperimentColumn{Name: "Kind"},
 			dsv3.ExperimentColumn{Name: "Orphaned"},
 			dsv3.ExperimentColumn{Name: "KV lost", Unit: "tok"},
 			dsv3.ExperimentColumn{Name: "Recovery", Unit: "s"},
@@ -616,7 +659,12 @@ func buildFailureTables(pts []dsv3.ServeSweepPoint, traced bool) []*dsv3.Experim
 				if in.Prefill {
 					name = fmt.Sprintf("p%d", in.Instance)
 				}
+				kind := in.Kind
+				if kind == "" {
+					kind = "crash"
+				}
 				inc.Row(rate, dsv3.FloatCell("%.2f", in.At), dsv3.StrCell(name),
+					dsv3.StrCell(kind),
 					dsv3.IntCell(in.Orphaned), dsv3.IntCell(in.KVTokensLost),
 					dsv3.FloatCell("%.2f", in.Recovery))
 			}
@@ -624,4 +672,32 @@ func buildFailureTables(pts []dsv3.ServeSweepPoint, traced bool) []*dsv3.Experim
 		tables = append(tables, inc)
 	}
 	return tables
+}
+
+// buildHazardTable packs the cross-layer hazard metrics for runs with
+// plane hazards, SDC injection, or hedging configured.
+func buildHazardTable(pts []dsv3.ServeSweepPoint, traced bool) *dsv3.ExperimentTable {
+	t := dsv3.NewExperimentTable("Hazards",
+		dsv3.ExperimentColumn{Name: "Rate", Unit: "req/s"},
+		dsv3.ExperimentColumn{Name: "SDC steps"},
+		dsv3.ExperimentColumn{Name: "Caught"},
+		dsv3.ExperimentColumn{Name: "Corrupt resp"},
+		dsv3.ExperimentColumn{Name: "Gray drains"},
+		dsv3.ExperimentColumn{Name: "Hedges"},
+		dsv3.ExperimentColumn{Name: "Wins"},
+		dsv3.ExperimentColumn{Name: "Wasted", Unit: "tok"},
+	)
+	for _, p := range pts {
+		r := p.Report
+		rate := dsv3.FloatCell("%.1f", p.RatePerSec)
+		if traced {
+			rate = dsv3.FloatCell("%.2f", r.OfferedRate)
+		}
+		t.Row(rate,
+			dsv3.IntCell(r.CorruptSteps), dsv3.IntCell(r.SDCDetected),
+			dsv3.IntCell(r.CorruptResponses), dsv3.IntCell(r.GrayDrained),
+			dsv3.IntCell(r.Hedges), dsv3.IntCell(r.HedgeWins),
+			dsv3.IntCell(r.HedgeWastedTokens))
+	}
+	return t
 }

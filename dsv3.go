@@ -332,6 +332,15 @@ type (
 	ServeRetryPolicy     = servesim.RetryPolicy
 	ServeAdmissionPolicy = servesim.AdmissionPolicy
 	ServeIncident        = servesim.Incident
+	// Cross-layer hazards (ServeConfig.Resilience.Hazards / .Hedge):
+	// plane-failure bandwidth derates on the EP interconnect, silent
+	// data corruption on decode steps with Freivalds verification and
+	// quarantine, EWMA gray-failure draining, and hedged requests
+	// (speculative duplicates racing the straggling original).
+	ServeHazardPlan       = servesim.HazardPlan
+	ServePlaneHazardEvent = servesim.PlaneHazardEvent
+	ServeDetectionConfig  = servesim.DetectionConfig
+	ServeHedgePolicy      = servesim.HedgePolicy
 )
 
 const (
@@ -387,6 +396,12 @@ var (
 	// ParseServeScheduler resolves "heap" or "calendar" — the format
 	// behind dsv3serve's -sched flag.
 	ParseServeScheduler = servesim.ParseScheduler
+	// ParseServeHazardEvents parses a comma-separated plane-hazard spec
+	// ("degrade@4:d1:6/8,heal@16:d1") and ParseServeHedgePolicy a hedge
+	// spec ("0.5" fixed delay or "p95:0.3" tracked with a floor) — the
+	// formats behind dsv3serve's -hazard and -hedge flags.
+	ParseServeHazardEvents = servesim.ParseHazardEvents
+	ParseServeHedgePolicy  = servesim.ParseHedgePolicy
 )
 
 // Training (Table 4).
@@ -576,4 +591,14 @@ var (
 	RenderServeFleet      = experiments.RenderFleetStudy
 	ServeFleetConfig1000  = experiments.FleetConfig
 	ServeFleetWorkload    = experiments.FleetWorkload
+	// ServeHazardStudy replays a composed plane-degradation + SDC
+	// incident per router with detection off vs on (serve-hazard entry);
+	// ServeHedgeStudy races hedging policies against a permanent gray
+	// straggler (serve-hedge entry).
+	ServeHazardStudy       = experiments.HazardStudy
+	ServeHazardStudyResult = experiments.HazardStudyResult
+	RenderServeHazard      = experiments.RenderHazardStudy
+	ServeHedgeStudy        = experiments.HedgeStudy
+	ServeHedgeStudyResult  = experiments.HedgeStudyResult
+	RenderServeHedge       = experiments.RenderHedgeStudy
 )

@@ -28,6 +28,8 @@ const (
 	SeedServeKVTier   = 71
 	SeedServeTrace    = 73
 	SeedServeFleet    = 79
+	SeedServeHazard   = 83
+	SeedServeHedge    = 89
 )
 
 // Options configure one catalogue runner invocation.
@@ -168,6 +170,10 @@ func Catalogue() []Runner {
 			func(o Options) ([]*results.Table, error) { return TraceStudyResult(SeedServeTrace, o.Quick) }),
 		one("serve-fleet", "serving: 1000-instance fleet under 1M requests (sharded event loop)", SeedServeFleet,
 			func(o Options) (*results.Table, error) { return FleetStudyResult(SeedServeFleet, o.Quick) }),
+		one("serve-hazard", "serving: plane degradation + SDC per router, detection off vs on", SeedServeHazard,
+			func(o Options) (*results.Table, error) { return HazardStudyResult(SeedServeHazard, o.Quick) }),
+		one("serve-hedge", "serving: hedged requests vs a permanent gray straggler", SeedServeHedge,
+			func(o Options) (*results.Table, error) { return HedgeStudyResult(SeedServeHedge, o.Quick) }),
 	}
 }
 

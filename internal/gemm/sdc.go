@@ -26,8 +26,11 @@ func VerifyGEMM(a, b, c *quant.Matrix, trials int, tol float64, rng *rand.Rand) 
 		return false
 	}
 	n := b.Cols
+	// The trial vectors are fully overwritten each round, so one
+	// allocation serves every trial.
+	r := make([]float64, n)
+	br := make([]float64, b.Rows)
 	for t := 0; t < trials; t++ {
-		r := make([]float64, n)
 		for i := range r {
 			if rng.Intn(2) == 0 {
 				r[i] = 1
@@ -36,7 +39,6 @@ func VerifyGEMM(a, b, c *quant.Matrix, trials int, tol float64, rng *rand.Rand) 
 			}
 		}
 		// br = b·r (k), then abr = a·br (m); cr = c·r (m).
-		br := make([]float64, b.Rows)
 		for i := 0; i < b.Rows; i++ {
 			row := b.Row(i)
 			var s float64

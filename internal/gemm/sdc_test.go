@@ -83,3 +83,39 @@ func TestInjectFaultIsNonDestructive(t *testing.T) {
 		t.Error("InjectFault must apply the delta")
 	}
 }
+
+// The trial vectors are hoisted out of the trial loop, so one verify
+// pass allocates exactly its two scratch vectors no matter how many
+// trials it runs.
+func TestVerifyGEMMAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	a := randMatrix(rng, 24, 96, 1)
+	b := randMatrix(rng, 96, 24, 1)
+	c := Ref(a, b)
+	allocs := testing.AllocsPerRun(10, func() {
+		if !VerifyGEMM(a, b, c, 16, 1e-9, rng) {
+			t.Fatal("exact product must verify")
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("VerifyGEMM allocated %.0f times per call, want <= 2", allocs)
+	}
+}
+
+// Verdicts are a pure function of the RNG stream: reseeding reproduces
+// the same sign vectors and the same accept/reject outcome, so the
+// buffer hoist cannot have changed the draw order.
+func TestVerifyGEMMDeterministic(t *testing.T) {
+	a := randMatrix(rand.New(rand.NewSource(75)), 24, 96, 1)
+	b := randMatrix(rand.New(rand.NewSource(76)), 96, 24, 1)
+	c := Ref(a, b)
+	bad := InjectFault(c, 3, 3, 1e6)
+	for i := 0; i < 4; i++ {
+		if !VerifyGEMM(a, b, c, 8, 1e-9, rand.New(rand.NewSource(77))) {
+			t.Fatal("exact product must verify")
+		}
+		if VerifyGEMM(a, b, bad, 8, 1e-9, rand.New(rand.NewSource(77))) {
+			t.Fatal("corrupted product must fail")
+		}
+	}
+}

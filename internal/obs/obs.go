@@ -102,6 +102,13 @@ const (
 	MarkComplete
 	// MarkFailed is a request exhausting its retry budget.
 	MarkFailed
+	// MarkCorrupt is a completion tainted by undetected silent data
+	// corruption.
+	MarkCorrupt
+	// MarkHedge is a speculative duplicate dispatched after the hedge
+	// delay; MarkHedgeWin records the duplicate finishing first.
+	MarkHedge
+	MarkHedgeWin
 )
 
 // String returns the mark's trace-event name.
@@ -125,6 +132,12 @@ func (m Mark) String() string {
 		return "complete"
 	case MarkFailed:
 		return "failed"
+	case MarkCorrupt:
+		return "corrupt"
+	case MarkHedge:
+		return "hedge"
+	case MarkHedgeWin:
+		return "hedge-win"
 	}
 	return "unknown"
 }

@@ -139,16 +139,26 @@ type ResilienceConfig struct {
 	// Admission sheds arriving requests under overload (queue-depth /
 	// KV-occupancy gates); the zero value admits everything.
 	Admission AdmissionPolicy
+	// Hazards maps substrate faults — network plane loss, silent data
+	// corruption — into the serving-layer fault model (hazard.go); nil
+	// disables the hazard machinery entirely.
+	Hazards *HazardPlan
+	// Hedge dispatches speculative duplicate requests after a delay,
+	// first-wins (hazard.go); the zero value never hedges.
+	Hedge HedgePolicy
 }
 
 // validate checks the resilience knobs against the fleet they target
 // (fault events name instances; colocated fleets have no prefill
 // targets), reporting every problem at once.
 func (r ResilienceConfig) validate(f FleetConfig) error {
-	errs := []error{r.Retry.Validate(), r.Admission.Validate()}
+	errs := []error{r.Retry.Validate(), r.Admission.Validate(), r.Hedge.Validate()}
+	nPrefill, nDecode := f.shape()
 	if r.Faults != nil {
-		nPrefill, nDecode := f.shape()
 		errs = append(errs, r.Faults.validate(nPrefill, nDecode, f.Colocated))
+	}
+	if r.Hazards != nil {
+		errs = append(errs, r.Hazards.validate(nPrefill, nDecode, f.Colocated))
 	}
 	return errors.Join(errs...)
 }

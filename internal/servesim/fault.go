@@ -2,6 +2,7 @@ package servesim
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -110,17 +111,21 @@ func (p *FaultPlan) validate(nPrefill, nDecode int, colocated bool) error {
 	return nil
 }
 
-// recoveryWindow returns the configured window with the default applied.
+// recoveryWindow returns the configured window with the default
+// applied. Nil-safe: SDC quarantines and gray-failure drains record
+// incidents without a FaultPlan, and recovery resolution still runs
+// over them with the defaults.
 func (p *FaultPlan) recoveryWindow() units.Seconds {
-	if p.RecoveryWindow > 0 {
+	if p != nil && p.RecoveryWindow > 0 {
 		return p.RecoveryWindow
 	}
 	return 5
 }
 
-// recoveryBand returns the configured band with the default applied.
+// recoveryBand returns the configured band with the default applied
+// (nil-safe, see recoveryWindow).
 func (p *FaultPlan) recoveryBand() float64 {
-	if p.RecoveryBand > 0 {
+	if p != nil && p.RecoveryBand > 0 {
 		return p.RecoveryBand
 	}
 	return 0.8
@@ -162,12 +167,17 @@ func (r RetryPolicy) Validate() error {
 	return nil
 }
 
-// delay returns the backoff before the n-th retry (n >= 1).
+// delay returns the backoff before the n-th retry (n >= 1). The
+// multiply loop stops as soon as the cap is passed, so a huge budget x
+// factor product never walks the delay out to +Inf before capping.
 func (r RetryPolicy) delay(n int) units.Seconds {
 	d := r.Backoff
 	if f := r.BackoffFactor; f > 0 {
 		for i := 1; i < n; i++ {
 			d *= f
+			if r.MaxBackoff > 0 && d > r.MaxBackoff {
+				break
+			}
 		}
 	}
 	if r.MaxBackoff > 0 && d > r.MaxBackoff {
@@ -219,12 +229,18 @@ func (a AdmissionPolicy) String() string {
 	return strings.Join(parts, ",")
 }
 
-// Incident is the measured blast radius of one instance crash.
+// Incident is the measured blast radius of one instance-level event
+// that dropped work: a crash, a detected-SDC quarantine, or a
+// gray-failure drain.
 type Incident struct {
-	// At is the crash time; Instance/Prefill identify the victim.
+	// At is the incident time; Instance/Prefill identify the victim.
 	At       units.Seconds
 	Instance int
 	Prefill  bool
+	// Kind labels the incident: "crash", "sdc" (detected corruption
+	// quarantined the instance), or "gray-drain" (EWMA straggler
+	// detection drained it).
+	Kind string
 	// Orphaned counts the requests dropped with the instance (active
 	// batch, landing queue, and any in-flight prefill).
 	Orphaned int
@@ -271,6 +287,13 @@ func ParseFaultEvents(s string) ([]FaultEvent, error) {
 		at, err := strconv.ParseFloat(strings.TrimSpace(atStr), 64)
 		if err != nil {
 			return nil, fmt.Errorf("servesim: fault %q: bad time: %w", item, err)
+		}
+		if math.IsNaN(at) || math.IsInf(at, 0) {
+			// ParseFloat accepts "NaN" and "Inf", and the plan's validate
+			// only rejects At < 0 — a NaN-timed event would slip through
+			// into the scheduler. Reject non-finite times here, naming
+			// the offending item.
+			return nil, fmt.Errorf("servesim: fault %q: non-finite time", item)
 		}
 		target = strings.TrimSpace(target)
 		if len(target) < 2 || (target[0] != 'd' && target[0] != 'p') {

@@ -478,6 +478,15 @@ func (e *Engine) reloadDone(inst int, req *reqState) {
 			break
 		}
 	}
+	if req.hstate == hzLost {
+		d.kv.release(req.pages)
+		req.pages = 0
+		e.hedgeDrop(req)
+		if !d.stepping && !d.prefilling {
+			e.startStep(inst)
+		}
+		return
+	}
 	d.admitCounter++
 	req.admitSeq = d.admitCounter
 	e.trPhaseEnd(req)
@@ -539,9 +548,9 @@ func (e *Engine) prefixStore(req *reqState) {
 // is accounted as reload stall. Misses (and recompute re-prefills,
 // which rebuild mid-generation state the cache does not hold) pay the
 // full prefill.
-func (e *Engine) prefillCost(req *reqState) units.Seconds {
+func (e *Engine) prefillCost(req *reqState, commScale float64) units.Seconds {
 	full := req.ctxForPrefill()
-	base := e.cfg.Latency.prefillTime(e.lc, full)
+	base := e.cfg.Latency.prefillTimeComm(e.lc, full, commScale)
 	h := &e.hier
 	if !h.prefixOn || req.Session <= 0 || req.resumed {
 		return base
@@ -575,7 +584,7 @@ func (e *Engine) prefillCost(req *reqState) units.Seconds {
 		wait = 0
 	}
 	fetch := wait + e.tierXfer(ent.tier, chunks, true)
-	compute := e.cfg.Latency.prefillTime(e.lc, full-hit)
+	compute := e.cfg.Latency.prefillTimeComm(e.lc, full-hit, commScale)
 	if fetch > compute {
 		h.reloadStall += fetch - compute
 		return fetch

@@ -140,10 +140,19 @@ func (l LatencyModel) DecodeStepTime(batch int, attn batchAttention) units.Secon
 }
 
 func (l LatencyModel) decodeStepTime(lc latConsts, batch int, attn batchAttention) units.Seconds {
+	return l.decodeStepTimeComm(lc, batch, attn, 1)
+}
+
+// decodeStepTimeComm is decodeStepTime with the communication leg
+// scaled by commScale — the plane-failure derating (hazard.go): k of T
+// lost planes squeeze the all-to-all onto the survivors at T/(T-k) x
+// the healthy duration. Multiplying by exactly 1 is a bit-exact
+// identity, so the unscaled entry point above delegates here.
+func (l LatencyModel) decodeStepTimeComm(lc latConsts, batch int, attn batchAttention, commScale float64) units.Seconds {
 	if batch <= 0 {
 		return 0
 	}
-	commPerLayer := lc.commPerToken * float64(batch) / l.InterconnectBW
+	commPerLayer := lc.commPerToken * float64(batch) * commScale / l.InterconnectBW
 
 	attnTime := attn.FLOPs / lc.peak
 	if kv := attn.KVBytes / lc.mem; kv > attnTime {
@@ -175,6 +184,12 @@ func (l LatencyModel) PrefillTime(promptTokens int) units.Seconds {
 }
 
 func (l LatencyModel) prefillTime(lc latConsts, promptTokens int) units.Seconds {
+	return l.prefillTimeComm(lc, promptTokens, 1)
+}
+
+// prefillTimeComm is prefillTime with the dispatch/combine leg scaled
+// by commScale (see decodeStepTimeComm).
+func (l LatencyModel) prefillTimeComm(lc latConsts, promptTokens int, commScale float64) units.Seconds {
 	tokens := float64(promptTokens)
 	linear := 2 * lc.activeNonEmbedding * tokens
 	attn := lc.prefillAttnCoef * tokens * tokens / 2 * lc.layers
@@ -183,7 +198,7 @@ func (l LatencyModel) prefillTime(lc latConsts, promptTokens int) units.Seconds 
 		compute = lc.weightStream
 	}
 
-	comm := lc.commPerToken * tokens * lc.layers / l.InterconnectBW
+	comm := lc.commPerToken * tokens * lc.layers * commScale / l.InterconnectBW
 	if comm > compute {
 		return comm
 	}

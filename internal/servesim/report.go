@@ -56,6 +56,22 @@ type Report struct {
 	AffectedRequests int
 	// Incidents records each crash's blast radius and recovery time.
 	Incidents []Incident
+	// Cross-layer hazard metrics (hazard.go) — all zero unless
+	// Resilience.Hazards is set. CorruptSteps counts silently corrupted
+	// decode steps; SDCDetected those the Freivalds pass caught (each
+	// quarantining its instance); CorruptResponses completed responses
+	// tainted by undetected corruption (never SLO-good); GrayDrained
+	// the straggler instances the EWMA detector drained.
+	CorruptSteps     int
+	SDCDetected      int
+	CorruptResponses int
+	GrayDrained      int
+	// Hedging metrics (zero unless Resilience.Hedge is set): duplicates
+	// dispatched, races the duplicate won, and tokens emitted by losing
+	// copies — the discarded work the tail-latency win costs.
+	Hedges            int
+	HedgeWins         int
+	HedgeWastedTokens int
 	// SLOHealthy and SLOFaulted split SLO attainment by the fleet state
 	// at arrival: requests arriving with every instance up vs during a
 	// degraded span (an instance down or draining). Failed requests
@@ -138,6 +154,14 @@ func (e *Engine) report() *Report {
 		AffectedRequests: e.affected,
 		DecodeSteps:      e.steps,
 		PeakKVOccupancy:  e.peakOcc,
+
+		CorruptSteps:      e.hz.sdcSteps,
+		SDCDetected:       e.hz.sdcDetected,
+		CorruptResponses:  e.hz.corrupt,
+		GrayDrained:       e.hz.grayDrains,
+		Hedges:            e.hedge.hedged,
+		HedgeWins:         e.hedge.wins,
+		HedgeWastedTokens: e.hedge.wasted,
 	}
 	if admitted := r.Requests - r.Shed; admitted > 0 {
 		r.RetryAmplification = float64(admitted+r.Retries) / float64(admitted)
@@ -189,7 +213,7 @@ func (e *Engine) report() *Report {
 			tpot = append(tpot, perTok)
 			e.latHist.Add(perTok)
 		}
-		good := t <= e.cfg.SLO.TTFT && (perTok < 0 || perTok <= e.cfg.SLO.TPOT)
+		good := t <= e.cfg.SLO.TTFT && (perTok < 0 || perTok <= e.cfg.SLO.TPOT) && !req.corrupt
 		if good {
 			meetsSLO++
 			if len(e.incidents) > 0 {

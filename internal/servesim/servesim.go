@@ -58,6 +58,12 @@ const (
 	// evReloadDone lands an offloaded request's KV back in HBM: the
 	// request joins its instance's batch (tiered hierarchy only).
 	evReloadDone
+	// evHazard applies Config.Resilience.Hazards.Planes[inst]; evHedge
+	// fires a request's hedge timer (hazard.go). Both exist only on the
+	// serial path — hazardous configs never shard, so neither kind can
+	// reach the coordinator's barrier-class range check.
+	evHazard
+	evHedge
 )
 
 type event struct {
@@ -153,20 +159,48 @@ type reqState struct {
 	// was chosen as a preemption victim — the allocation-free stand-in
 	// for the per-step victim set.
 	preemptMark int
+	// corrupt marks a response tainted by undetected silent data
+	// corruption (hazard.go); a corrupt completion never counts as
+	// SLO-good.
+	corrupt bool
+	// Hedging state (hazard.go). isClone marks a speculative duplicate
+	// living outside the arena; twin links the two racing copies; hstate
+	// is the race state (hzNone..hzDone); inst is the decode instance
+	// the copy was last routed to (-1 before any hand-off) — the twin's
+	// routing anti-affinity.
+	isClone bool
+	hstate  int8
+	twin    *reqState
+	inst    int
 }
 
 func (r *reqState) remaining() int { return r.OutputTokens - r.generated }
 
 // healthState is an instance's availability: up instances take new
-// work, draining instances finish what they hold but are excluded from
-// routing, down instances hold nothing and take nothing.
+// work, degraded instances serve at derated bandwidth, draining
+// instances finish what they hold but are excluded from routing, down
+// and quarantined instances hold nothing and take nothing.
 type healthState int8
 
 const (
 	healthUp healthState = iota
+	// healthDegraded: a plane hazard derated the instance's comm
+	// bandwidth. It still takes and holds work — a degraded instance is
+	// precisely the gray failure the router's detection exists to catch,
+	// so it stays in the routing candidate set until drained.
+	healthDegraded
 	healthDraining
 	healthDown
+	// healthQuarantined: removed after a detected SDC; crash-like (holds
+	// nothing, takes nothing) until an optional repair recovers it.
+	healthQuarantined
 )
+
+// servable reports whether the instance can take and hold new work.
+func (h healthState) servable() bool { return h == healthUp || h == healthDegraded }
+
+// dead reports whether the instance holds nothing (crash-like states).
+func (h healthState) dead() bool { return h == healthDown || h == healthQuarantined }
 
 // prefillUnit is one prefill (or the prefill half of a colocated)
 // instance.
@@ -315,6 +349,15 @@ type Engine struct {
 	downCount     int           // instances not healthUp (degraded-span tracking)
 	degradedSince units.Seconds // start of the currently open degraded span
 
+	// Cross-layer hazard state (hazard.go). The hazard RNG is its own
+	// reseedable stream (seed stream 5) covering SDC and detection
+	// draws; hedging draws no randomness. hz and hedge are recycled
+	// across runs and cost one bool write each on a hazard-free run.
+	hazardRng    *rand.Rand
+	hazardReseed func(int64)
+	hz           hazardState
+	hedge        hedgeState
+
 	// metrics accumulation
 	completed  []*reqState
 	failed     []*reqState
@@ -366,6 +409,7 @@ func NewEngine() *Engine {
 	e := &Engine{}
 	e.rng, e.reseed = parallel.NewReseedable(0)
 	e.faultRng, e.faultReseed = parallel.NewReseedable(0)
+	e.hazardRng, e.hazardReseed = parallel.NewReseedable(0)
 	return e
 }
 
@@ -440,6 +484,7 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 	for i := range e.decodes {
 		e.decodes[i].reset(kv)
 	}
+	e.resetHazards(nPrefill, nDecode)
 	e.obsBeginRun(nPrefill, nDecode)
 
 	// Sample the batch/occupancy timeline on a horizon estimated from
@@ -464,7 +509,7 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 	}
 	e.arena = e.arena[:len(reqs)]
 	for i := range reqs {
-		e.arena[i] = reqState{Request: reqs[i]}
+		e.arena[i] = reqState{Request: reqs[i], inst: -1}
 	}
 
 	if e.shardable(w, nDecode) {
@@ -486,6 +531,7 @@ func (e *Engine) Run(cfg Config, w Workload) (*Report, error) {
 			e.schedule(e.faultRng.ExpFloat64()*plan.MTBF, evFaultRandom, 0, nil)
 		}
 	}
+	e.scheduleHazards()
 	for e.events.size() > 0 {
 		ev := e.events.pop()
 		stop, err := e.processEvent(&ev)
@@ -521,12 +567,19 @@ func (e *Engine) processEvent(ev *event) (stop bool, err error) {
 			e.trMark(ev.req, obs.MarkArrival)
 			e.trPhaseBegin(ev.req, obs.PhaseQueue, -1)
 			e.prefillQ.push(ev.req)
+			if e.hedge.on {
+				e.schedule(e.now+e.hedgeDelay(), evHedge, 0, ev.req)
+			}
 		}
 	case evPrefillDone:
 		e.prefillDone(ev)
 	case evDecodeLand:
+		if ev.req.hstate == hzLost {
+			e.hedgeDrop(ev.req)
+			break
+		}
 		d := &e.decodes[ev.inst]
-		if d.health == healthDown {
+		if d.health.dead() {
 			// The KV migration arrived at a crashed host: the
 			// request is orphaned mid-hand-off.
 			e.orphan(ev.req)
@@ -558,6 +611,10 @@ func (e *Engine) processEvent(ev *event) (stop bool, err error) {
 		}
 	case evRetry:
 		req := ev.req
+		if req.hstate == hzLost {
+			e.hedgeDrop(req)
+			break
+		}
 		req.resumed = req.generated > 0
 		req.ctx = req.ctxForPrefill()
 		e.trPhaseEnd(req)
@@ -569,6 +626,10 @@ func (e *Engine) processEvent(ev *event) (stop bool, err error) {
 			break // scheduled by a crashed incarnation
 		}
 		e.reloadDone(ev.inst, ev.req)
+	case evHazard:
+		e.applyHazard(ev.inst)
+	case evHedge:
+		e.hedgeFire(ev.req)
 	}
 	e.dispatch()
 	return len(e.completed)+len(e.failed)+e.shed == len(e.arena), nil
@@ -585,6 +646,7 @@ func (e *Engine) finishRun() (*Report, error) {
 		return nil, fmt.Errorf("servesim: %d of %d requests never completed (scheduling stall)",
 			len(e.arena)-n, len(e.arena))
 	}
+	e.hedgeSweep()
 	e.obsEndRun()
 	return e.report(), nil
 }
@@ -624,7 +686,7 @@ func (e *Engine) shouldShed() bool {
 	if a.MaxKVOccupancy > 0 {
 		var used, total int
 		for i := range e.decodes {
-			if d := &e.decodes[i]; d.health != healthDown {
+			if d := &e.decodes[i]; !d.health.dead() {
 				if e.sharded {
 					used += e.mirror.used[i]
 					total += e.mirror.total[i]
@@ -648,6 +710,7 @@ func (e *Engine) shouldShed() bool {
 // pull from the shared queue themselves (startStep), so only the fixed
 // scan order applies there. Every path is deterministic.
 func (e *Engine) dispatch() {
+	e.purgeLostHead()
 	if e.prefillQ.len() == 0 {
 		return
 	}
@@ -656,7 +719,7 @@ func (e *Engine) dispatch() {
 			if e.prefillQ.len() == 0 {
 				return
 			}
-			if d := &e.decodes[i]; d.health == healthUp && !d.stepping && !d.prefilling {
+			if d := &e.decodes[i]; d.health.servable() && !d.stepping && !d.prefilling {
 				e.startStep(i)
 			}
 		}
@@ -666,10 +729,10 @@ func (e *Engine) dispatch() {
 		return
 	}
 	// Health-aware candidate set: crashed and draining prefill units are
-	// invisible to the router.
+	// invisible to the router (degraded ones still serve, slower).
 	idle := e.loads[:0]
 	for i := range e.prefills {
-		if p := &e.prefills[i]; !p.busy && p.health == healthUp {
+		if p := &e.prefills[i]; !p.busy && p.health.servable() {
 			idle = append(idle, InstanceLoad{Instance: i})
 		}
 	}
@@ -682,7 +745,7 @@ func (e *Engine) dispatch() {
 		p.busy = true
 		e.idlePrefills--
 		p.cur = req
-		cost := e.prefillCost(req)
+		cost := e.prefillCost(req, e.commScaleP(inst))
 		if e.sharded {
 			// The post-prefill context is already determined (see
 			// emitFirstToken), so the hand-off's land time is known now.
@@ -698,8 +761,20 @@ func (e *Engine) dispatch() {
 		e.trPhaseBegin(req, obs.PhasePrefill, inst)
 		e.trCompute(cost, true, inst, obs.ComputePrefill, req.ID)
 		e.scheduleEpoch(e.now+cost, evPrefillDone, inst, p.epoch, req)
+		e.purgeLostHead()
 	}
 	e.loads = idle[:0]
+}
+
+// purgeLostHead drops losing hedge copies off the head of the shared
+// prefill queue before dispatch commits capacity to them (hazard.go).
+func (e *Engine) purgeLostHead() {
+	if !e.hedge.on {
+		return
+	}
+	for e.prefillQ.len() > 0 && e.prefillQ.peek().hstate == hzLost {
+		e.hedgeDrop(e.prefillQ.pop())
+	}
 }
 
 // ctxForPrefill is the context a (re-)prefill must process: the prompt
@@ -726,8 +801,14 @@ func (e *Engine) prefillDone(ev *event) {
 	}
 	p.busy = false
 	p.cur = nil
-	if p.health == healthUp {
+	if p.health.servable() {
 		e.idlePrefills++
+	}
+	if req.hstate == hzLost {
+		// The twin completed while this copy prefilled: the work is
+		// discarded and the unit freed.
+		e.hedgeDrop(req)
+		return
 	}
 	e.trPhaseEnd(req)
 	e.emitFirstToken(req)
@@ -742,7 +823,7 @@ func (e *Engine) prefillDone(ev *event) {
 	loads := e.loads[:0]
 	for i := range e.decodes {
 		d := &e.decodes[i]
-		if d.health != healthUp {
+		if !d.health.servable() {
 			continue
 		}
 		if e.sharded {
@@ -767,7 +848,19 @@ func (e *Engine) prefillDone(ev *event) {
 		e.orphan(req)
 		return
 	}
+	// Hedge anti-affinity: a racing copy avoids its twin's decode
+	// instance when any alternative exists, so the race spans failure
+	// domains instead of queueing twice on the same straggler.
+	if t := req.twin; t != nil && req.hstate == hzRacing && len(loads) > 1 {
+		for k := range loads {
+			if loads[k].Instance == t.inst {
+				loads = append(loads[:k], loads[k+1:]...)
+				break
+			}
+		}
+	}
 	best := loads[e.decodeRouter.Pick(loads)].Instance
+	req.inst = best
 	e.loads = loads[:0]
 	var transfer units.Seconds
 	if e.cfg.Fleet.TransferBW > 0 {
@@ -794,7 +887,18 @@ func (e *Engine) emitFirstToken(req *reqState) {
 }
 
 func (e *Engine) complete(req *reqState) {
+	if req.hstate == hzRacing {
+		e.hedgeWin(req)
+	}
 	req.done = e.now
+	if e.hedge.on {
+		req.hstate = hzDone
+		e.noteHedgeE2E(req.done - req.Arrival)
+	}
+	if req.corrupt {
+		e.hz.corrupt++
+		e.trMark(req, obs.MarkCorrupt)
+	}
 	e.trPhaseEnd(req)
 	e.trMark(req, obs.MarkComplete)
 	e.completed = append(e.completed, req)
@@ -806,8 +910,9 @@ func (e *Engine) complete(req *reqState) {
 // admission plus one continuous-batching decode step.
 func (e *Engine) startStep(inst int) {
 	d := &e.decodes[inst]
+	e.purgeLostHead()
 
-	if e.cfg.Fleet.Colocated && d.health == healthUp && e.prefillQ.len() > 0 && len(d.active) < e.cfg.Fleet.MaxBatch &&
+	if e.cfg.Fleet.Colocated && d.health.servable() && e.prefillQ.len() > 0 && len(d.active) < e.cfg.Fleet.MaxBatch &&
 		(len(d.active) == 0 || d.sincePrefill >= e.cfg.Fleet.ColocatedStride) {
 		req := e.prefillQ.peek()
 		// A colocated request decodes in place, so reserve its full
@@ -822,7 +927,7 @@ func (e *Engine) startStep(inst int) {
 			d.prefilling = true
 			d.prefillReq = req
 			e.notePeakOcc()
-			cost := e.prefillCost(req)
+			cost := e.prefillCost(req, e.commScaleD(inst))
 			e.trPhaseEnd(req)
 			e.trPhaseBegin(req, obs.PhasePrefill, inst)
 			e.trCompute(cost, false, inst, obs.ComputePrefill, req.ID)
@@ -840,6 +945,11 @@ func (e *Engine) startStep(inst int) {
 	if !e.cfg.Fleet.Colocated {
 		for len(d.active)+len(d.reloads) < e.cfg.Fleet.MaxBatch && d.pending.len() > 0 {
 			req := d.pending.peek()
+			if req.hstate == hzLost {
+				d.pending.pop()
+				e.hedgeDrop(req)
+				continue
+			}
 			if req.entry != 0 && e.hier.entries[req.entry-1].dropped {
 				// The offloaded chunks were evicted off the bottom tier
 				// while the request queued: recompute preemption after
@@ -885,7 +995,21 @@ func (e *Engine) startStep(inst int) {
 	for _, req := range d.active {
 		e.cfg.Latency.addContextC(e.lc, &attn, req.ctx)
 	}
-	dt := e.cfg.Latency.decodeStepTime(e.lc, len(d.active), attn) * e.mtpFactor
+	dt := e.cfg.Latency.decodeStepTimeComm(e.lc, len(d.active), attn, e.commScaleD(inst)) * e.mtpFactor
+	if e.hz.on {
+		// Every step pays the Freivalds verification pass (when
+		// configured). The gray-failure tracker records the step's
+		// observed-vs-expected ratio — observed time over the model's
+		// healthy-interconnect prediction for the same batch — so the
+		// signal sits at 1.0 for a clean instance at any occupancy and
+		// rises only with genuine slowdown; raw per-slot cost would
+		// confuse a lightly-loaded instance with a degraded one.
+		dt += e.verifyCost(len(d.active))
+		if e.hz.detect {
+			base := e.cfg.Latency.decodeStepTimeComm(e.lc, len(d.active), attn, 1)*e.mtpFactor + e.verifyCost(len(d.active))
+			e.hz.stepCost[inst] = dt / base
+		}
+	}
 	d.stepping = true
 	d.sincePrefill++
 	e.steps++
@@ -902,6 +1026,13 @@ func (e *Engine) colocatedPrefillDone(inst int, req *reqState) {
 	d.prefilling = false
 	d.prefillReq = nil
 	d.sincePrefill = 0
+	if req.hstate == hzLost {
+		d.kv.release(req.pages)
+		req.pages = 0
+		e.hedgeDrop(req)
+		e.startStep(inst)
+		return
+	}
 	e.trPhaseEnd(req)
 	e.emitFirstToken(req)
 	if req.remaining() == 0 {
@@ -924,6 +1055,40 @@ func (e *Engine) colocatedPrefillDone(inst int, req *reqState) {
 // last token can never be chosen as a preemption victim.
 func (e *Engine) stepDone(inst int) error {
 	d := &e.decodes[inst]
+	if e.hedge.on {
+		// Drop copies whose twin resolved mid-step before they emit:
+		// their pages free now, their tokens are discarded work.
+		keep := d.active[:0]
+		for _, req := range d.active {
+			if req.hstate == hzLost {
+				d.kv.release(req.pages)
+				req.pages = 0
+				e.hedgeDrop(req)
+			} else {
+				keep = append(keep, req)
+			}
+		}
+		for i := len(keep); i < len(d.active); i++ {
+			d.active[i] = nil
+		}
+		d.active = keep
+	}
+	if e.hz.on {
+		corrupt, detected := e.sdcStep()
+		if detected {
+			// Verification caught the corruption: the step's outputs are
+			// discarded and the instance leaves service — a retryable
+			// fault instead of a corrupt completed response.
+			e.quarantine(inst)
+			return nil
+		}
+		if corrupt {
+			for _, req := range d.active {
+				req.corrupt = true
+			}
+		}
+		e.noteStepEWMA(inst)
+	}
 	for _, req := range d.active {
 		emitted := 1
 		if c := e.cfg.MTP; c != nil {
@@ -1084,7 +1249,7 @@ func (e *Engine) applyFault(kind FaultKind, prefill bool, inst int) {
 		p := &e.prefills[inst]
 		switch kind {
 		case FaultCrash:
-			if p.health != healthDown {
+			if !p.health.dead() {
 				e.crashPrefill(inst)
 			}
 		case FaultRecover:
@@ -1094,9 +1259,9 @@ func (e *Engine) applyFault(kind FaultKind, prefill bool, inst int) {
 			e.noteHealth(p.health, healthUp)
 			p.health = healthUp
 		case FaultDrain:
-			if p.health == healthUp {
+			if p.health.servable() {
 				e.trIncident(true, inst, "drain")
-				e.noteHealth(healthUp, healthDraining)
+				e.noteHealth(p.health, healthDraining)
 				p.health = healthDraining
 			}
 		}
@@ -1106,7 +1271,7 @@ func (e *Engine) applyFault(kind FaultKind, prefill bool, inst int) {
 	d := &e.decodes[inst]
 	switch kind {
 	case FaultCrash:
-		if d.health != healthDown {
+		if !d.health.dead() {
 			e.crashDecode(inst)
 		}
 	case FaultRecover:
@@ -1115,10 +1280,17 @@ func (e *Engine) applyFault(kind FaultKind, prefill bool, inst int) {
 		}
 		e.noteHealth(d.health, healthUp)
 		d.health = healthUp
+		if e.hz.on {
+			// A repaired instance re-earns its reputation: stale EWMA
+			// state must not re-drain it on its first steps back.
+			e.hz.grayDrained[inst] = false
+			e.hz.ewma[inst] = 0
+			e.hz.ewmaSteps[inst] = 0
+		}
 	case FaultDrain:
-		if d.health == healthUp {
+		if d.health.servable() {
 			e.trIncident(false, inst, "drain")
-			e.noteHealth(healthUp, healthDraining)
+			e.noteHealth(d.health, healthDraining)
 			d.health = healthDraining
 		}
 	}
@@ -1138,7 +1310,7 @@ func (e *Engine) randomCrash() {
 		repair = e.faultRng.ExpFloat64() * plan.MTTR
 	}
 	if pick < len(e.prefills) {
-		if p := &e.prefills[pick]; p.health != healthDown {
+		if p := &e.prefills[pick]; !p.health.dead() {
 			e.crashPrefill(pick)
 			if repair > 0 {
 				e.schedule(e.now+repair, evFaultRecover, -(pick + 1), nil)
@@ -1146,7 +1318,7 @@ func (e *Engine) randomCrash() {
 		}
 	} else {
 		pick -= len(e.prefills)
-		if d := &e.decodes[pick]; d.health != healthDown {
+		if d := &e.decodes[pick]; !d.health.dead() {
 			e.crashDecode(pick)
 			if repair > 0 {
 				e.schedule(e.now+repair, evFaultRecover, pick, nil)
@@ -1162,7 +1334,7 @@ func (e *Engine) randomCrash() {
 func (e *Engine) crashPrefill(inst int) {
 	p := &e.prefills[inst]
 	e.trIncident(true, inst, "crash")
-	inc := Incident{At: e.now, Instance: inst, Prefill: true}
+	inc := Incident{At: e.now, Instance: inst, Prefill: true, Kind: "crash"}
 	if p.busy && p.cur != nil {
 		inc.Orphaned++
 		inc.KVTokensLost += p.cur.ctxForPrefill()
@@ -1183,7 +1355,7 @@ func (e *Engine) crashPrefill(inst int) {
 func (e *Engine) recountIdlePrefills() {
 	n := 0
 	for i := range e.prefills {
-		if p := &e.prefills[i]; !p.busy && p.health == healthUp {
+		if p := &e.prefills[i]; !p.busy && p.health.servable() {
 			n++
 		}
 	}
@@ -1197,7 +1369,7 @@ func (e *Engine) recountIdlePrefills() {
 func (e *Engine) crashDecode(inst int) {
 	d := &e.decodes[inst]
 	e.trIncident(false, inst, "crash")
-	inc := Incident{At: e.now, Instance: inst}
+	inc := Incident{At: e.now, Instance: inst, Kind: "crash"}
 	for _, req := range d.active {
 		inc.Orphaned++
 		inc.KVTokensLost += req.ctx
@@ -1243,6 +1415,14 @@ func (e *Engine) crashDecode(inst int) {
 // wholesale), so a retried request re-prefills its whole context —
 // recompute, exactly like a preemption victim.
 func (e *Engine) orphan(req *reqState) {
+	if req.hstate == hzLost {
+		// A losing hedge copy swept up in a crash: its race already
+		// resolved, so it just disappears (pages were freed wholesale).
+		e.hier.forget(req)
+		req.pages = 0
+		e.hedgeDrop(req)
+		return
+	}
 	e.hier.forget(req)
 	req.pages = 0
 	e.affected++
@@ -1258,7 +1438,19 @@ func (e *Engine) orphan(req *reqState) {
 		e.schedule(e.now+e.cfg.Resilience.Retry.delay(req.retries), evRetry, 0, req)
 		return
 	}
+	// Retry budget exhausted. A copy whose twin still races is absorbed
+	// — the request's fate rides on the surviving copy — instead of
+	// failing a request that may yet complete.
+	if e.hedgeOrphanAbsorbed(req) {
+		return
+	}
 	req.done = e.now
+	if e.hedge.on {
+		req.hstate = hzDone
+		if t := req.twin; t != nil && t.hstate == hzAbandoned {
+			t.hstate = hzDone
+		}
+	}
 	e.trMark(req, obs.MarkFailed)
 	e.failed = append(e.failed, req)
 }

@@ -254,6 +254,10 @@ func (e *Engine) shardable(w Workload, nDecode int) bool {
 		!f.Colocated &&
 		e.cfg.MTP == nil &&
 		len(e.cfg.KV.Tiers) == 0 &&
+		// Cross-layer hazards and hedging mutate cross-shard state
+		// (per-instance comm scales, fleet-median detection, twin
+		// cancellation) mid-window; they force the serial fallback.
+		!e.cfg.Resilience.hazardous() &&
 		f.TransferBW > 0 &&
 		w.Arrival == ArrivalPoisson &&
 		nDecode > 1 &&

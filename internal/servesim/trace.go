@@ -38,6 +38,8 @@ type metricIdx struct {
 	queue, batch, kvOcc, healthy               int
 	completed, failed, shed, retries, preempts int
 	offloads, reloads                          int
+	sdcSteps, sdcDetected, grayDrains          int
+	hedges, hedgeWins                          int
 	tierOcc, tierIn, tierOut                   []int
 }
 
@@ -50,20 +52,26 @@ func reqInfo(r *reqState) obs.ReqInfo {
 	}
 }
 
+// Hedge clones share their original's request ID, so their phase and
+// mark hooks are suppressed: one ID must carry one phase timeline for
+// the reconciliation invariant to hold. Hedge-specific marks (hedge,
+// hedge-win, corrupt) fire on the arena original; clone compute still
+// shows up in the per-instance compute slices, where it belongs.
+
 func (e *Engine) trPhaseBegin(req *reqState, ph obs.Phase, inst int) {
-	if e.tracer != nil {
+	if e.tracer != nil && !req.isClone {
 		e.tracer.PhaseBegin(e.now, reqInfo(req), ph, inst)
 	}
 }
 
 func (e *Engine) trPhaseEnd(req *reqState) {
-	if e.tracer != nil {
+	if e.tracer != nil && !req.isClone {
 		e.tracer.PhaseEnd(e.now, req.ID)
 	}
 }
 
 func (e *Engine) trMark(req *reqState, m obs.Mark) {
-	if e.tracer != nil {
+	if e.tracer != nil && !req.isClone {
 		e.tracer.Mark(e.now, reqInfo(req), m)
 	}
 }
@@ -106,6 +114,15 @@ func (e *Engine) obsBeginRun(nPrefill, nDecode int) {
 	mi.shed = m.Counter("shed", "req")
 	mi.retries = m.Counter("retries", "")
 	mi.preempts = m.Counter("preemptions", "")
+	if e.hz.on {
+		mi.sdcSteps = m.Counter("sdc_steps", "")
+		mi.sdcDetected = m.Counter("sdc_detected", "")
+		mi.grayDrains = m.Counter("gray_drains", "")
+	}
+	if e.hedge.on {
+		mi.hedges = m.Counter("hedges", "")
+		mi.hedgeWins = m.Counter("hedge_wins", "")
+	}
 	mi.tierOcc = mi.tierOcc[:0]
 	mi.tierIn = mi.tierIn[:0]
 	mi.tierOut = mi.tierOut[:0]
@@ -172,6 +189,15 @@ func (e *Engine) fillMetrics(row []units.Seconds) {
 	row[mi.shed] = float64(e.shed)
 	row[mi.retries] = float64(e.retries)
 	row[mi.preempts] = float64(e.preempts)
+	if e.hz.on {
+		row[mi.sdcSteps] = float64(e.hz.sdcSteps)
+		row[mi.sdcDetected] = float64(e.hz.sdcDetected)
+		row[mi.grayDrains] = float64(e.hz.grayDrains)
+	}
+	if e.hedge.on {
+		row[mi.hedges] = float64(e.hedge.hedged)
+		row[mi.hedgeWins] = float64(e.hedge.wins)
+	}
 	if e.hier.on {
 		h := &e.hier
 		row[mi.offloads] = float64(h.offloads)

@@ -21,6 +21,14 @@
 #                               buffers, so the overhead is O(1) per run
 #                               (the per-tier metric-name strings), not
 #                               per event
+#   BenchmarkServeEngineHazard 8 — the run with the cross-layer hazard
+#                               stack live (plane derate, SDC +
+#                               Freivalds verify, EWMA gray-failure
+#                               detection, p95-tracked hedging,
+#                               retries); hazard state is engine-owned
+#                               and recycled, so the overhead over the
+#                               clean engine is the hazard plan's
+#                               per-run RNG plus the hedge tracker
 #   BenchmarkServeFleet    48 — the 1000-instance sharded run on a warm
 #                               engine; the extra allocs over the serial
 #                               engine are the per-run shard group (its
@@ -38,6 +46,7 @@ BenchmarkE4M3Quantize 0
 BenchmarkServeEngine 6
 BenchmarkServeEngineTiered 10
 BenchmarkServeEngineTraced 20
+BenchmarkServeEngineHazard 8
 BenchmarkServeFleet 48
 BenchmarkEventQueue/heap/n=100000 0
 BenchmarkEventQueue/heap/n=1000000 0
